@@ -1,0 +1,83 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  More specific subclasses are
+raised by the substrate (simulator, graphs, coding) and by the protocol
+layers so that test suites and callers can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProtocolError",
+    "TopologyError",
+    "GSTValidationError",
+    "ScheduleError",
+    "CodingError",
+    "DecodingError",
+    "BroadcastFailure",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when parameters or protocol configuration are invalid."""
+
+
+class SimulationError(ReproError):
+    """Raised when the round-based simulation engine is misused.
+
+    Examples: registering two protocols for one node, running a simulator
+    that already finished, or a protocol returning an invalid action.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol reaches an internal state that should be
+    impossible under the model assumptions (a bug, not a random failure)."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid network topologies (disconnected graphs, missing
+    source node, non-positive sizes, and similar)."""
+
+
+class GSTValidationError(ReproError):
+    """Raised when a tree claimed to be a Gathering Spanning Tree violates
+    one of the GST invariants (BFS property, ranking rule, collision
+    freeness)."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a GST transmission schedule is constructed from
+    inconsistent labels (levels, ranks, virtual distances)."""
+
+
+class CodingError(ReproError):
+    """Raised by the GF(2) / network-coding substrate on invalid input."""
+
+
+class DecodingError(CodingError):
+    """Raised when message decoding is attempted without enough linearly
+    independent packets."""
+
+
+class BroadcastFailure(ReproError):
+    """Raised when a broadcast run finished without delivering the
+    message(s) to every node (the "with high probability" event failed or
+    the round budget was too small)."""
+
+    def __init__(self, message: str, undelivered: tuple = ()):  # noqa: D107
+        super().__init__(message)
+        self.undelivered = tuple(undelivered)
+
+
+class AnalysisError(ReproError):
+    """Raised by the analysis/sweep harness on malformed experiment input."""
