@@ -1,0 +1,8 @@
+"""Reproduction of GhaffariHK13: randomized broadcast in radio networks
+with collision detection."""
+
+from repro.errors import ReproError
+from repro.params import ProtocolParams
+
+__all__ = ["ProtocolParams", "ReproError"]
+__version__ = "0.1.0"

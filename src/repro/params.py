@@ -82,6 +82,12 @@ class ProtocolParams:
     #: additive offset over ``⌈log2 n⌉`` (ranks never exceed ``⌈log2 n⌉``).
     max_rank_offset: int = 1
 
+    def __post_init__(self) -> None:
+        # Invalid constants must fail at construction, not deep inside a
+        # run.  ``replace`` re-runs this, so ``with_overrides`` and the
+        # presets are covered automatically.
+        self.validate()
+
     # ------------------------------------------------------------------ #
     # Presets
     # ------------------------------------------------------------------ #
@@ -162,6 +168,19 @@ class ProtocolParams:
         log_n = self.log_n(n_bound)
         base = diameter + k_messages * log_n + log_n * log_n
         return int(math.ceil(self.schedule_slack * base)) + self.schedule_slack_additive
+
+    def decay_broadcast_rounds(self, diameter: int, n_bound: int) -> int:
+        """Round budget for plain Decay broadcast: ``O((D + log n) log n)``.
+
+        Decay (without collision detection) needs ``Θ(D + log n)`` phases of
+        ``⌈log2 n⌉`` rounds; this applies the usual multiplicative and
+        additive slack so the w.h.p. event comfortably fits the budget.
+        """
+        if diameter < 0:
+            raise ConfigurationError(f"diameter must be non-negative, got {diameter}")
+        phases = diameter + self.decay_whp_phases(n_bound)
+        rounds = math.ceil(self.schedule_slack * phases) * self.decay_phase_length(n_bound)
+        return int(rounds) + self.schedule_slack_additive
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` if any parameter is non-positive."""

@@ -1,0 +1,68 @@
+"""Round-synchronous radio-network simulation subsystem.
+
+Layers, bottom-up:
+
+* :mod:`repro.sim.rng` — seeded per-node random streams (reproducibility);
+* :mod:`repro.sim.topology` — :class:`RadioNetwork` and graph generators;
+* :mod:`repro.sim.protocol` — the per-node protocol API and registry;
+* :mod:`repro.sim.engine` — the vectorized round loop and channel model;
+* :mod:`repro.sim.decay` — the first protocol on the engine (Decay).
+"""
+
+from repro.sim.decay import DecayProtocol, DecayResult, run_decay
+from repro.sim.engine import Engine, RoundStats, SimResult
+from repro.sim.protocol import (
+    Action,
+    ActionKind,
+    Feedback,
+    FeedbackKind,
+    NodeContext,
+    Protocol,
+    available_protocols,
+    protocol_class,
+    register_protocol,
+)
+from repro.sim.rng import SeededStreams, node_streams, stream
+from repro.sim.topology import (
+    TOPOLOGY_NAMES,
+    RadioNetwork,
+    dumbbell,
+    from_spec,
+    gnp,
+    grid2d,
+    line,
+    ring,
+    star,
+    unit_disk,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "DecayProtocol",
+    "DecayResult",
+    "Engine",
+    "Feedback",
+    "FeedbackKind",
+    "NodeContext",
+    "Protocol",
+    "RadioNetwork",
+    "RoundStats",
+    "SeededStreams",
+    "SimResult",
+    "TOPOLOGY_NAMES",
+    "available_protocols",
+    "dumbbell",
+    "from_spec",
+    "gnp",
+    "grid2d",
+    "line",
+    "node_streams",
+    "protocol_class",
+    "register_protocol",
+    "ring",
+    "run_decay",
+    "star",
+    "stream",
+    "unit_disk",
+]

@@ -1,0 +1,236 @@
+"""Round-synchronous radio-network simulation engine.
+
+The engine drives one :class:`~repro.sim.protocol.Protocol` instance per
+node through lock-step rounds and resolves the single-hop radio channel
+with vectorized numpy kernels:
+
+* collect every node's :class:`~repro.sim.protocol.Action`;
+* ``counts = A @ transmit_mask`` gives, for every node, how many of its
+  neighbours transmitted this round;
+* a listener with count 0 hears silence, with count 1 receives the unique
+  neighbour's message, with count >= 2 suffers a collision — reported as
+  ``COLLISION`` when the run models collision detection and as ``SILENCE``
+  otherwise (collision-as-silence);
+* transmitters hear nothing (half-duplex radios, as in the paper's model).
+
+Per-round ground-truth statistics (transmitter set, deliveries, collisions)
+are always collected in aggregate and optionally per round (``trace=True``)
+so tests and analyses can observe collision events the nodes themselves may
+not be able to see.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.params import ProtocolParams
+from repro.sim.protocol import (
+    Action,
+    ActionKind,
+    Feedback,
+    FeedbackKind,
+    NodeContext,
+    Protocol,
+)
+from repro.sim.rng import SeededStreams
+from repro.sim.topology import RadioNetwork
+
+__all__ = ["Engine", "RoundStats", "SimResult"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Omniscient record of one round (ground truth, not node knowledge)."""
+
+    round_index: int
+    transmitters: tuple[int, ...]
+    #: (receiver, sender) pairs that cleanly received this round.
+    deliveries: tuple[tuple[int, int], ...]
+    #: listening nodes with >= 2 transmitting neighbours, regardless of
+    #: whether the run models collision detection.
+    collisions: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of :meth:`Engine.run`."""
+
+    rounds_run: int
+    stopped_early: bool
+    total_transmissions: int
+    total_deliveries: int
+    total_collisions: int
+    #: per-round records; empty unless the engine was built with ``trace=True``.
+    history: tuple[RoundStats, ...] = field(default=())
+
+
+class Engine:
+    """Synchronous simulator for one protocol run on one network."""
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        protocols: Sequence[Protocol],
+        *,
+        seed: int = 0,
+        collision_detection: bool = True,
+        params: ProtocolParams | None = None,
+        n_bound: int | None = None,
+        trace: bool = False,
+    ):
+        if len(protocols) != network.n:
+            raise SimulationError(
+                f"need exactly one protocol per node: got {len(protocols)} "
+                f"protocols for {network.n} nodes"
+            )
+        if len(set(map(id, protocols))) != len(protocols):
+            raise SimulationError("the same Protocol instance was given for two nodes")
+        if n_bound is not None and n_bound < network.n:
+            raise SimulationError(
+                f"n_bound {n_bound} is below the actual network size {network.n}"
+            )
+        self.network = network
+        self.protocols = tuple(protocols)
+        self.collision_detection = collision_detection
+        self.params = params if params is not None else ProtocolParams.paper()
+        self.n_bound = n_bound if n_bound is not None else network.n
+        self.trace = trace
+        self.streams = SeededStreams(seed, network.n)
+        self._adj = network.adjacency_matrix().astype(np.int32)
+        self._round = 0
+        self._total_transmissions = 0
+        self._total_deliveries = 0
+        self._total_collisions = 0
+        self._history: list[RoundStats] = []
+        for node, proto in enumerate(self.protocols):
+            proto.setup(
+                NodeContext(
+                    node=node,
+                    n_nodes=network.n,
+                    n_bound=self.n_bound,
+                    is_source=(node == network.source),
+                    params=self.params,
+                    rng=self.streams.nodes[node],
+                )
+            )
+
+    @property
+    def round_index(self) -> int:
+        """Index of the next round to be executed."""
+        return self._round
+
+    # ------------------------------------------------------------------ #
+    # Round execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> RoundStats:
+        """Execute one round and return its omniscient record."""
+        r = self._round
+        n = self.network.n
+        actions: list[Action] = []
+        transmit = np.zeros(n, dtype=bool)
+        listen = np.zeros(n, dtype=bool)
+        for node, proto in enumerate(self.protocols):
+            action = proto.act(r)
+            if not isinstance(action, Action):
+                raise SimulationError(
+                    f"protocol at node {node} returned {action!r} from act(); "
+                    "expected an Action"
+                )
+            if action.kind is ActionKind.TRANSMIT:
+                if action.message is None:
+                    raise SimulationError(
+                        f"node {node} transmitted a None message in round {r}"
+                    )
+                transmit[node] = True
+            elif action.kind is ActionKind.LISTEN:
+                listen[node] = True
+            actions.append(action)
+
+        counts = self._adj @ transmit
+        t_idx = np.nonzero(transmit)[0]
+        clean = np.nonzero(listen & (counts == 1))[0]
+        collided = np.nonzero(listen & (counts >= 2))[0]
+        silent = np.nonzero(listen & (counts == 0))[0]
+
+        deliveries: list[tuple[int, int]] = []
+        if clean.size:
+            # For each clean receiver, its unique transmitting neighbour.
+            senders = t_idx[self._adj[np.ix_(clean, t_idx)].argmax(axis=1)]
+            for recv, send in zip(clean.tolist(), senders.tolist()):
+                deliveries.append((recv, send))
+                self.protocols[recv].on_feedback(
+                    r,
+                    Feedback(
+                        FeedbackKind.MESSAGE,
+                        round_index=r,
+                        message=actions[send].message,
+                        sender=send,
+                    ),
+                )
+        collision_kind = (
+            FeedbackKind.COLLISION if self.collision_detection else FeedbackKind.SILENCE
+        )
+        for recv in collided.tolist():
+            self.protocols[recv].on_feedback(
+                r, Feedback(collision_kind, round_index=r)
+            )
+        for recv in silent.tolist():
+            self.protocols[recv].on_feedback(
+                r, Feedback(FeedbackKind.SILENCE, round_index=r)
+            )
+
+        stats = RoundStats(
+            round_index=r,
+            transmitters=tuple(t_idx.tolist()),
+            deliveries=tuple(deliveries),
+            collisions=tuple(collided.tolist()),
+        )
+        self._round += 1
+        self._total_transmissions += int(t_idx.size)
+        self._total_deliveries += len(deliveries)
+        self._total_collisions += int(collided.size)
+        if self.trace:
+            self._history.append(stats)
+        return stats
+
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stop_when: Callable[["Engine"], bool] | None = None,
+    ) -> SimResult:
+        """Run up to ``max_rounds`` rounds, stopping early if ``stop_when(engine)``.
+
+        The predicate is evaluated before the first round and after every
+        round, so a vacuously-satisfied goal costs zero rounds.
+        """
+        if max_rounds < 0:
+            raise SimulationError(f"max_rounds must be non-negative, got {max_rounds}")
+        # Snapshot so the result covers exactly this run() call, even when
+        # step() or a previous run() already advanced the engine.
+        start_round = self._round
+        start_transmissions = self._total_transmissions
+        start_deliveries = self._total_deliveries
+        start_collisions = self._total_collisions
+        start_history = len(self._history)
+        stopped_early = False
+        if stop_when is not None and stop_when(self):
+            stopped_early = True
+        else:
+            for _ in range(max_rounds):
+                self.step()
+                if stop_when is not None and stop_when(self):
+                    stopped_early = True
+                    break
+        return SimResult(
+            rounds_run=self._round - start_round,
+            stopped_early=stopped_early,
+            total_transmissions=self._total_transmissions - start_transmissions,
+            total_deliveries=self._total_deliveries - start_deliveries,
+            total_collisions=self._total_collisions - start_collisions,
+            history=tuple(self._history[start_history:]),
+        )

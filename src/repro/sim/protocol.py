@@ -1,0 +1,171 @@
+"""The node-protocol API.
+
+Every algorithm from the paper is expressed as a :class:`Protocol`: one
+instance per node, driven by the engine in lock-step rounds.  Each round the
+engine calls :meth:`Protocol.act` on every node, resolves the radio channel,
+and calls :meth:`Protocol.on_feedback` on every node that listened.  Nodes
+have no shared state and no side channel — everything they learn arrives
+through feedback, exactly as in the model of Section 1.1 of the paper.
+
+A small registry maps protocol names to classes so sweeps and the CLI can
+instantiate protocols by name.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.params import ProtocolParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+__all__ = [
+    "ActionKind",
+    "Action",
+    "FeedbackKind",
+    "Feedback",
+    "NodeContext",
+    "Protocol",
+    "register_protocol",
+    "protocol_class",
+    "available_protocols",
+]
+
+
+class ActionKind(enum.Enum):
+    """What a node does with its radio in one round."""
+
+    TRANSMIT = "transmit"
+    LISTEN = "listen"
+    SLEEP = "sleep"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A node's choice for one round; build via the class helpers."""
+
+    kind: ActionKind
+    message: Any = None
+
+    @classmethod
+    def transmit(cls, message: Any) -> "Action":
+        if message is None:
+            raise SimulationError("TRANSMIT requires a non-None message")
+        return cls(ActionKind.TRANSMIT, message)
+
+    @classmethod
+    def listen(cls) -> "Action":
+        return cls(ActionKind.LISTEN)
+
+    @classmethod
+    def sleep(cls) -> "Action":
+        return cls(ActionKind.SLEEP)
+
+
+class FeedbackKind(enum.Enum):
+    """What a listening node hears.
+
+    Without collision detection a collision is reported as ``SILENCE``
+    (the model's collision-as-silence assumption); with collision detection
+    the receiver can distinguish all three cases.
+    """
+
+    SILENCE = "silence"
+    MESSAGE = "message"
+    COLLISION = "collision"
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """Channel outcome delivered to one listening node for one round."""
+
+    kind: FeedbackKind
+    round_index: int
+    message: Any = None
+    sender: int | None = None
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """Everything a node legitimately knows before round 0.
+
+    Per the model: its own id, the public bound ``n_bound`` on the network
+    size, whether it is the source, the shared parameters, and a private
+    random stream.  Nodes do *not* get the topology.
+    """
+
+    node: int
+    n_nodes: int
+    n_bound: int
+    is_source: bool
+    params: ProtocolParams
+    rng: "np.random.Generator" = field(repr=False)
+
+
+class Protocol(ABC):
+    """Base class for per-node protocol state machines.
+
+    Lifecycle: the engine calls :meth:`setup` once before round 0, then for
+    every round calls :meth:`act`, resolves the channel, and calls
+    :meth:`on_feedback` on nodes that chose ``LISTEN``.
+    """
+
+    #: registry name, set by :func:`register_protocol`.
+    name: str = ""
+
+    def setup(self, ctx: NodeContext) -> None:
+        """Bind this instance to a node; default stores ``ctx``."""
+        self.ctx = ctx
+
+    @abstractmethod
+    def act(self, round_index: int) -> Action:
+        """Return this node's action for the given round."""
+
+    @abstractmethod
+    def on_feedback(self, round_index: int, feedback: Feedback) -> None:
+        """Receive the channel outcome of a round in which this node listened."""
+
+    def finished(self) -> bool:
+        """Whether this node considers its protocol complete (advisory)."""
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+_REGISTRY: dict[str, type[Protocol]] = {}
+
+
+def register_protocol(name: str):
+    """Class decorator registering a :class:`Protocol` under ``name``."""
+
+    def deco(cls: type[Protocol]) -> type[Protocol]:
+        if not (isinstance(cls, type) and issubclass(cls, Protocol)):
+            raise SimulationError(f"{cls!r} is not a Protocol subclass")
+        if name in _REGISTRY and _REGISTRY[name] is not cls:
+            raise SimulationError(f"protocol name {name!r} is already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def protocol_class(name: str) -> type[Protocol]:
+    """Look up a registered protocol class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown protocol {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_protocols() -> tuple[str, ...]:
+    """Names of all registered protocols, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,377 @@
+"""Radio-network topologies.
+
+A :class:`RadioNetwork` is an undirected, connected graph with a designated
+broadcast source.  The engine only ever sees the adjacency structure; all
+the generators below exist so that protocols can be exercised on the graph
+families the paper's guarantees must survive: long paths (diameter-bound),
+stars and cliques (contention-bound), grids and unit-disk graphs (the
+geometric radio setting), sparse random graphs, and "dumbbell" graphs whose
+narrow bridge stresses progress through a single bottleneck edge.
+
+Every generator validates its output (connected, source present, no self
+loops) and is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.sim.rng import stream
+
+__all__ = [
+    "RadioNetwork",
+    "line",
+    "ring",
+    "star",
+    "grid2d",
+    "gnp",
+    "dumbbell",
+    "unit_disk",
+    "from_spec",
+    "TOPOLOGY_NAMES",
+]
+
+
+class RadioNetwork:
+    """An undirected connected graph plus a broadcast source node.
+
+    Construction validates the structure once; afterwards the instance is
+    immutable and caches the derived views the engine and the budgets need
+    (dense adjacency matrix, BFS layers, eccentricity, diameter).
+    """
+
+    def __init__(
+        self,
+        neighbors: Sequence[Iterable[int]],
+        *,
+        source: int = 0,
+        name: str = "custom",
+    ):
+        n = len(neighbors)
+        if n < 1:
+            raise TopologyError("a RadioNetwork needs at least one node")
+        if not 0 <= source < n:
+            raise TopologyError(f"source {source} out of range for {n} nodes")
+        adj: list[tuple[int, ...]] = []
+        for u, nbrs in enumerate(neighbors):
+            seen = set()
+            for v in nbrs:
+                v = int(v)
+                if v == u:
+                    raise TopologyError(f"self-loop at node {u}")
+                if not 0 <= v < n:
+                    raise TopologyError(f"edge ({u}, {v}) out of range for {n} nodes")
+                seen.add(v)
+            adj.append(tuple(sorted(seen)))
+        for u, nbrs in enumerate(adj):
+            for v in nbrs:
+                if u not in adj[v]:
+                    raise TopologyError(f"edge ({u}, {v}) is not symmetric")
+        self._neighbors = tuple(adj)
+        self._n = n
+        self._source = source
+        self._name = name
+        self._adjacency: np.ndarray | None = None
+        self._layers: dict[int, tuple[tuple[int, ...], ...]] = {}
+        self._diameter: int | None = None
+        if n > 1:
+            reached = sum(len(layer) for layer in self.bfs_layers(source))
+            if reached != n:
+                raise TopologyError(
+                    f"graph is disconnected: {n - reached} of {n} nodes "
+                    f"unreachable from source {source}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def source(self) -> int:
+        return self._source
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        return self._neighbors[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._neighbors[v])
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._neighbors) // 2
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense symmetric 0/1 matrix, cached; the engine's channel kernel."""
+        if self._adjacency is None:
+            mat = np.zeros((self._n, self._n), dtype=np.int8)
+            for u, nbrs in enumerate(self._neighbors):
+                for v in nbrs:
+                    mat[u, v] = 1
+            self._adjacency = mat
+        return self._adjacency
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
+    def bfs_layers(self, root: int | None = None) -> tuple[tuple[int, ...], ...]:
+        """Nodes grouped by hop distance from ``root`` (default: the source).
+
+        ``layers[d]`` holds every node at distance exactly ``d``; unreachable
+        nodes (only possible during construction) are absent.
+        """
+        root = self._source if root is None else root
+        if not 0 <= root < self._n:
+            raise TopologyError(f"root {root} out of range for {self._n} nodes")
+        if root in self._layers:
+            return self._layers[root]
+        dist = [-1] * self._n
+        dist[root] = 0
+        queue = deque([root])
+        layers: list[list[int]] = [[root]]
+        while queue:
+            u = queue.popleft()
+            for v in self._neighbors[u]:
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    if dist[v] == len(layers):
+                        layers.append([])
+                    layers[dist[v]].append(v)
+                    queue.append(v)
+        result = tuple(tuple(layer) for layer in layers)
+        self._layers[root] = result
+        return result
+
+    def eccentricity(self, root: int | None = None) -> int:
+        """Largest hop distance from ``root`` (default: the source)."""
+        return len(self.bfs_layers(root)) - 1
+
+    def diameter(self) -> int:
+        """Exact diameter via BFS from every node (cached; n is small)."""
+        if self._diameter is None:
+            self._diameter = max(self.eccentricity(v) for v in range(self._n))
+        return self._diameter
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RadioNetwork(name={self._name!r}, n={self._n}, "
+            f"edges={self.num_edges}, source={self._source})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Deterministic families
+# ---------------------------------------------------------------------- #
+def _check_size(n: int, minimum: int = 1) -> None:
+    if n < minimum:
+        raise TopologyError(f"need at least {minimum} nodes, got {n}")
+
+
+def line(n: int, *, source: int = 0) -> RadioNetwork:
+    """Path 0 - 1 - ... - (n-1); the diameter-stress topology."""
+    _check_size(n)
+    nbrs = [[] for _ in range(n)]
+    for u in range(n - 1):
+        nbrs[u].append(u + 1)
+        nbrs[u + 1].append(u)
+    return RadioNetwork(nbrs, source=source, name=f"line-{n}")
+
+
+def ring(n: int, *, source: int = 0) -> RadioNetwork:
+    """Cycle on ``n`` nodes (n >= 3)."""
+    _check_size(n, 3)
+    nbrs = [[(u - 1) % n, (u + 1) % n] for u in range(n)]
+    return RadioNetwork(nbrs, source=source, name=f"ring-{n}")
+
+
+def star(n: int, *, source: int = 0) -> RadioNetwork:
+    """Node 0 is the hub, nodes 1..n-1 are leaves; the contention-stress case."""
+    _check_size(n, 2)
+    nbrs = [list(range(1, n))] + [[0] for _ in range(n - 1)]
+    return RadioNetwork(nbrs, source=source, name=f"star-{n}")
+
+
+def grid2d(
+    rows: int | None = None,
+    cols: int | None = None,
+    *,
+    n: int | None = None,
+    source: int = 0,
+) -> RadioNetwork:
+    """4-neighbour grid.
+
+    Either pass explicit ``rows``/``cols``, or pass ``n`` alone to get a
+    near-square grid truncated to exactly ``n`` nodes in row-major order —
+    truncation keeps the graph connected.
+    """
+    if n is not None:
+        if rows is not None or cols is not None:
+            raise TopologyError("pass either rows/cols or n, not both")
+        _check_size(n)
+        rows = max(1, int(math.isqrt(n)))
+        cols = math.ceil(n / rows)
+    else:
+        if rows is None:
+            raise TopologyError("grid2d needs rows/cols or n")
+        cols = rows if cols is None else cols
+        if rows < 1 or cols < 1:
+            raise TopologyError(f"grid needs positive dimensions, got {rows}x{cols}")
+        n = rows * cols
+    nbrs: list[list[int]] = [[] for _ in range(n)]
+    for idx in range(n):
+        r, c = divmod(idx, cols)
+        for dr, dc in ((0, 1), (1, 0)):
+            rr, cc = r + dr, c + dc
+            jdx = rr * cols + cc
+            if rr < rows and cc < cols and jdx < n:
+                nbrs[idx].append(jdx)
+                nbrs[jdx].append(idx)
+    return RadioNetwork(nbrs, source=source, name=f"grid-{rows}x{cols}-n{n}")
+
+
+def dumbbell(clique_size: int, bridge_length: int = 4, *, source: int = 0) -> RadioNetwork:
+    """Two cliques of ``clique_size`` nodes joined by a path of ``bridge_length`` nodes.
+
+    High contention inside the clusters, single-edge bottleneck between
+    them — the hardest mix for a contention-resolution broadcast.
+    """
+    if clique_size < 2:
+        raise TopologyError(f"clique_size must be >= 2, got {clique_size}")
+    if bridge_length < 0:
+        raise TopologyError(f"bridge_length must be >= 0, got {bridge_length}")
+    n = 2 * clique_size + bridge_length
+    nbrs: list[set[int]] = [set() for _ in range(n)]
+    left = range(0, clique_size)
+    right = range(clique_size + bridge_length, n)
+    for grp in (left, right):
+        for u in grp:
+            for v in grp:
+                if u < v:
+                    nbrs[u].add(v)
+                    nbrs[v].add(u)
+    chain = [clique_size - 1, *range(clique_size, clique_size + bridge_length), clique_size + bridge_length]
+    for u, v in zip(chain, chain[1:]):
+        nbrs[u].add(v)
+        nbrs[v].add(u)
+    return RadioNetwork(
+        [sorted(s) for s in nbrs],
+        source=source,
+        name=f"dumbbell-{clique_size}+{bridge_length}+{clique_size}",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Random families
+# ---------------------------------------------------------------------- #
+_RANDOM_TRIES = 50
+
+
+def gnp(n: int, p: float, *, seed: int = 0, source: int = 0, max_tries: int = _RANDOM_TRIES) -> RadioNetwork:
+    """Erdős–Rényi G(n, p), resampled until connected (or :class:`TopologyError`)."""
+    _check_size(n)
+    if not 0.0 <= p <= 1.0:
+        raise TopologyError(f"edge probability must be in [0, 1], got {p}")
+    if not 0 <= source < n:
+        raise TopologyError(f"source {source} out of range for {n} nodes")
+    for attempt in range(max_tries):
+        rng = stream(seed, 1, attempt)
+        upper = np.triu(rng.random((n, n)) < p, k=1)
+        mat = upper | upper.T
+        nbrs = [np.nonzero(mat[u])[0].tolist() for u in range(n)]
+        try:
+            net = RadioNetwork(nbrs, source=source, name=f"gnp-{n}-p{p:.3g}")
+        except TopologyError:
+            continue
+        return net
+    raise TopologyError(
+        f"G({n}, {p}) was disconnected in {max_tries} attempts; increase p"
+    )
+
+
+def unit_disk(
+    n: int,
+    radius: float,
+    *,
+    seed: int = 0,
+    source: int = 0,
+    max_tries: int = _RANDOM_TRIES,
+) -> RadioNetwork:
+    """Unit-disk graph: ``n`` points in the unit square, edge iff distance <= radius."""
+    _check_size(n)
+    if radius <= 0:
+        raise TopologyError(f"radius must be positive, got {radius}")
+    if not 0 <= source < n:
+        raise TopologyError(f"source {source} out of range for {n} nodes")
+    for attempt in range(max_tries):
+        rng = stream(seed, 2, attempt)
+        pts = rng.random((n, 2))
+        delta = pts[:, None, :] - pts[None, :, :]
+        close = (delta**2).sum(axis=2) <= radius * radius
+        np.fill_diagonal(close, False)
+        nbrs = [np.nonzero(close[u])[0].tolist() for u in range(n)]
+        try:
+            net = RadioNetwork(nbrs, source=source, name=f"udg-{n}-r{radius:.3g}")
+        except TopologyError:
+            continue
+        return net
+    raise TopologyError(
+        f"unit-disk({n}, r={radius}) was disconnected in {max_tries} attempts; "
+        "increase the radius"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Name-based construction (CLI / sweeps)
+# ---------------------------------------------------------------------- #
+TOPOLOGY_NAMES = ("line", "ring", "star", "grid", "gnp", "dumbbell", "unit_disk")
+
+
+def from_spec(
+    name: str,
+    n: int,
+    *,
+    seed: int = 0,
+    source: int = 0,
+    p: float | None = None,
+    radius: float | None = None,
+) -> RadioNetwork:
+    """Build a topology by family name with sensible defaults.
+
+    ``p`` defaults to ``min(1, 4 ln n / n)`` (safely above the connectivity
+    threshold) and ``radius`` to ``sqrt(8 ln n / (pi n))`` for the same
+    reason.  ``dumbbell`` splits ``n`` into two cliques plus a 4-node bridge.
+    """
+    if name == "line":
+        return line(n, source=source)
+    if name == "ring":
+        return ring(n, source=source)
+    if name == "star":
+        return star(n, source=source)
+    if name == "grid":
+        return grid2d(n=n, source=source)
+    if name == "gnp":
+        if p is None:
+            p = min(1.0, 4.0 * math.log(max(2, n)) / n)
+        return gnp(n, p, seed=seed, source=source)
+    if name == "dumbbell":
+        bridge = min(4, max(0, n - 4))
+        clique = (n - bridge) // 2
+        if clique < 2:
+            raise TopologyError(f"dumbbell needs n >= 4, got {n}")
+        return dumbbell(clique, n - 2 * clique, source=source)
+    if name == "unit_disk":
+        if radius is None:
+            radius = math.sqrt(8.0 * math.log(max(2, n)) / (math.pi * n))
+        return unit_disk(n, radius, seed=seed, source=source)
+    raise TopologyError(f"unknown topology {name!r}; choose from {TOPOLOGY_NAMES}")

@@ -1,0 +1,37 @@
+"""Tests for the repro.sim.demo smoke-test CLI."""
+
+import pytest
+
+from repro.sim import demo
+
+
+def test_demo_grid_succeeds(capsys):
+    assert demo.main(["--topology", "grid", "--n", "64", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered to all 64 nodes" in out
+    assert "within budget" in out
+
+
+@pytest.mark.parametrize("topology", ["line", "ring", "star", "gnp", "dumbbell", "unit_disk"])
+def test_demo_every_topology(topology, capsys):
+    assert demo.main(["--topology", topology, "--n", "24", "--seed", "1"]) == 0
+    assert "delivered to all 24 nodes" in capsys.readouterr().out
+
+
+def test_demo_paper_preset_and_collision_detection(capsys):
+    rc = demo.main(
+        ["--topology", "grid", "--n", "16", "--preset", "paper", "--collision-detection"]
+    )
+    assert rc == 0
+    assert "collisions=" in capsys.readouterr().out
+
+
+def test_demo_reports_topology_error(capsys):
+    rc = demo.main(["--topology", "gnp", "--n", "30", "--p", "0.0"])
+    assert rc == 2
+    assert "topology error" in capsys.readouterr().err
+
+
+def test_demo_rejects_unknown_topology():
+    with pytest.raises(SystemExit):
+        demo.main(["--topology", "moebius"])

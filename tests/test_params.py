@@ -1,0 +1,113 @@
+"""Tests for repro.params: derived quantities, edge cases, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import ProtocolParams, log2_ceil
+
+
+class TestLog2Ceil:
+    def test_edge_cases(self):
+        assert log2_ceil(1) == 1
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+
+    def test_powers_of_two(self):
+        assert log2_ceil(4) == 2
+        assert log2_ceil(256) == 8
+        assert log2_ceil(257) == 9
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            log2_ceil(0)
+        with pytest.raises(ConfigurationError):
+            log2_ceil(-5)
+
+
+DERIVED = [
+    "log_n",
+    "decay_phase_length",
+    "decay_whp_phases",
+    "decay_whp_rounds",
+    "recruiting_hold",
+    "recruiting_iterations",
+    "recruiting_iteration_rounds",
+    "recruiting_rounds",
+    "assignment_epochs",
+    "max_rank",
+    "batch_size",
+]
+
+
+class TestDerivedQuantities:
+    @pytest.mark.parametrize("method", DERIVED)
+    @pytest.mark.parametrize("params", [ProtocolParams.paper(), ProtocolParams.fast()])
+    def test_monotone_in_n_bound(self, method, params):
+        values = [getattr(params, method)(n) for n in (2, 8, 64, 512, 4096)]
+        assert values == sorted(values), f"{method} not monotone: {values}"
+        assert all(v >= 1 for v in values)
+
+    def test_budgets_monotone_in_n_bound(self):
+        params = ProtocolParams.fast()
+        for method in ("broadcast_budget", "decay_broadcast_rounds"):
+            values = [getattr(params, method)(10, n) for n in (2, 8, 64, 512, 4096)]
+            assert values == sorted(values), f"{method} not monotone: {values}"
+
+    def test_budgets_monotone_in_diameter(self):
+        params = ProtocolParams.fast()
+        for method in ("broadcast_budget", "decay_broadcast_rounds"):
+            values = [getattr(params, method)(d, 64) for d in (0, 1, 10, 100)]
+            assert values == sorted(values)
+
+    def test_decay_whp_rounds_composition(self):
+        params = ProtocolParams.paper()
+        assert params.decay_whp_rounds(100) == (
+            params.decay_whp_phases(100) * params.decay_phase_length(100)
+        )
+
+    def test_decay_budget_rejects_negative_diameter(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams.fast().decay_broadcast_rounds(-1, 64)
+
+
+POSITIVE_FIELDS = [
+    "decay_phase_factor",
+    "decay_whp_factor",
+    "recruiting_hold_factor",
+    "recruiting_sweeps",
+    "assignment_epochs_factor",
+    "schedule_slack",
+    "fec_expansion",
+    "batch_size_factor",
+]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", POSITIVE_FIELDS)
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_construction_rejects_non_positive(self, name, bad):
+        with pytest.raises(ConfigurationError, match=name):
+            ProtocolParams(**{name: bad})
+
+    def test_construction_rejects_negative_additive_slack(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(schedule_slack_additive=-1)
+
+    def test_construction_rejects_bad_ring_width_and_rank_offset(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(ring_width=0)
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(max_rank_offset=-1)
+
+    def test_with_overrides_validates(self):
+        params = ProtocolParams.fast()
+        with pytest.raises(ConfigurationError):
+            params.with_overrides(schedule_slack=-2.0)
+
+    def test_presets_are_valid(self):
+        ProtocolParams.paper().validate()
+        ProtocolParams.fast().validate()
+
+    def test_with_overrides_replaces_field(self):
+        params = ProtocolParams.paper().with_overrides(schedule_slack=7.5)
+        assert params.schedule_slack == 7.5

@@ -1,0 +1,44 @@
+"""Tests for seeded per-node random streams."""
+
+import pytest
+
+from repro.sim.rng import SeededStreams, node_streams, stream
+
+
+def test_same_seed_same_draws():
+    a = node_streams(42, 5)
+    b = node_streams(42, 5)
+    for ga, gb in zip(a, b):
+        assert ga.random(8).tolist() == gb.random(8).tolist()
+
+
+def test_different_seeds_differ():
+    a = node_streams(1, 3)
+    b = node_streams(2, 3)
+    assert a[0].random(8).tolist() != b[0].random(8).tolist()
+
+
+def test_node_streams_are_mutually_independent():
+    a, b = node_streams(7, 2)
+    assert a.random(8).tolist() != b.random(8).tolist()
+
+
+def test_stream_domain_separation():
+    assert stream(0, 1).random(4).tolist() != stream(0, 2).random(4).tolist()
+    assert stream(0, 1).random(4).tolist() == stream(0, 1).random(4).tolist()
+
+
+def test_seeded_streams_shape_and_reproducibility():
+    s = SeededStreams(9, 4)
+    assert len(s) == 4
+    assert s.seed == 9
+    t = SeededStreams(9, 4)
+    assert s.engine.random(4).tolist() == t.engine.random(4).tolist()
+    assert s.nodes[3].random(4).tolist() == t.nodes[3].random(4).tolist()
+
+
+def test_invalid_counts_rejected():
+    with pytest.raises(ValueError):
+        node_streams(0, -1)
+    with pytest.raises(ValueError):
+        SeededStreams(0, 0)

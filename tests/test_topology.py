@@ -1,0 +1,170 @@
+"""Tests for RadioNetwork and the topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim import topology
+from repro.sim.topology import (
+    RadioNetwork,
+    dumbbell,
+    from_spec,
+    gnp,
+    grid2d,
+    line,
+    ring,
+    star,
+    unit_disk,
+)
+
+
+def assert_valid(net: RadioNetwork):
+    """Structural invariants every generator must satisfy."""
+    mat = net.adjacency_matrix()
+    assert mat.shape == (net.n, net.n)
+    assert (mat == mat.T).all(), "adjacency must be symmetric"
+    assert (np.diag(mat) == 0).all(), "no self-loops"
+    assert sum(len(layer) for layer in net.bfs_layers()) == net.n, "connected"
+    assert 0 <= net.source < net.n
+
+
+class TestRadioNetwork:
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            RadioNetwork([])
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(TopologyError):
+            RadioNetwork([[1], [0]], source=5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            RadioNetwork([[0, 1], [0]])
+
+    def test_rejects_asymmetric_edges(self):
+        with pytest.raises(TopologyError, match="not symmetric"):
+            RadioNetwork([[1], []])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(TopologyError, match="disconnected"):
+            RadioNetwork([[1], [0], [3], [2]])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(TopologyError):
+            RadioNetwork([[7], [0]])
+
+    def test_single_node(self):
+        net = RadioNetwork([[]])
+        assert net.n == 1
+        assert net.diameter() == 0
+        assert net.bfs_layers() == ((0,),)
+
+    def test_bfs_layers_and_distances(self):
+        net = line(5)
+        layers = net.bfs_layers()
+        assert layers == ((0,), (1,), (2,), (3,), (4,))
+        assert net.eccentricity() == 4
+        assert net.bfs_layers(2) == ((2,), (1, 3), (0, 4))
+        assert net.eccentricity(2) == 2
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        ("net", "n", "edges", "diameter"),
+        [
+            (line(10), 10, 9, 9),
+            (ring(10), 10, 10, 5),
+            (star(10), 10, 9, 2),
+            (grid2d(4, 5), 20, 31, 7),
+        ],
+    )
+    def test_deterministic_families(self, net, n, edges, diameter):
+        assert_valid(net)
+        assert net.n == n
+        assert net.num_edges == edges
+        assert net.diameter() == diameter
+
+    def test_grid_truncated_to_n(self):
+        net = grid2d(n=11)
+        assert_valid(net)
+        assert net.n == 11
+
+    def test_grid_rejects_ambiguous_or_missing_dims(self):
+        with pytest.raises(TopologyError, match="not both"):
+            grid2d(3, n=9)
+        with pytest.raises(TopologyError, match="rows/cols or n"):
+            grid2d()
+
+    def test_dumbbell_structure(self):
+        net = dumbbell(8, 4)
+        assert_valid(net)
+        assert net.n == 20
+        # clique nodes see each other
+        assert net.degree(0) == 7
+        # far clique is beyond the bridge
+        assert net.eccentricity(0) == 1 + 4 + 1 + 1
+
+    def test_dumbbell_zero_bridge(self):
+        net = dumbbell(3, 0)
+        assert_valid(net)
+        assert net.n == 6
+
+    def test_gnp_connected_and_deterministic(self):
+        a = gnp(50, 0.15, seed=3)
+        b = gnp(50, 0.15, seed=3)
+        assert_valid(a)
+        assert a.num_edges == b.num_edges
+        assert (a.adjacency_matrix() == b.adjacency_matrix()).all()
+
+    def test_gnp_seed_changes_graph(self):
+        a = gnp(50, 0.15, seed=3)
+        b = gnp(50, 0.15, seed=4)
+        assert not (a.adjacency_matrix() == b.adjacency_matrix()).all()
+
+    def test_gnp_gives_up_when_hopeless(self):
+        with pytest.raises(TopologyError, match="disconnected"):
+            gnp(30, 0.0, seed=0, max_tries=3)
+
+    def test_gnp_bad_source_fails_fast_not_as_disconnection(self):
+        # An always-connected graph with an invalid source must report the
+        # source problem, not burn retries and claim disconnection.
+        with pytest.raises(TopologyError, match="source 999 out of range"):
+            gnp(50, 0.9, source=999)
+
+    def test_unit_disk_connected_and_deterministic(self):
+        a = unit_disk(40, 0.35, seed=1)
+        b = unit_disk(40, 0.35, seed=1)
+        assert_valid(a)
+        assert (a.adjacency_matrix() == b.adjacency_matrix()).all()
+
+    def test_unit_disk_gives_up_when_hopeless(self):
+        with pytest.raises(TopologyError):
+            unit_disk(30, 0.001, seed=0, max_tries=3)
+
+    @pytest.mark.parametrize("bad_call", [
+        lambda: line(0),
+        lambda: ring(2),
+        lambda: star(1),
+        lambda: grid2d(0, 3),
+        lambda: dumbbell(1),
+        lambda: dumbbell(4, -1),
+        lambda: gnp(10, 1.5),
+        lambda: unit_disk(10, -0.1),
+        lambda: gnp(10, 0.9, source=99),
+        lambda: unit_disk(10, 0.9, source=-1),
+    ])
+    def test_invalid_arguments(self, bad_call):
+        with pytest.raises(TopologyError):
+            bad_call()
+
+
+class TestFromSpec:
+    @pytest.mark.parametrize("name", topology.TOPOLOGY_NAMES)
+    def test_every_family_buildable(self, name):
+        net = from_spec(name, 24, seed=0)
+        assert_valid(net)
+        assert net.n == 24
+
+    def test_unknown_name(self):
+        with pytest.raises(TopologyError, match="unknown topology"):
+            from_spec("torus", 16)
