@@ -1,0 +1,21 @@
+"""Experiment harnesses: multi-seed sweeps over the topology suite.
+
+The modules here drive the protocols in :mod:`repro.sim` across graph
+families and seed batches, aggregate the outcomes, and emit JSON perf
+records (``BENCH_*.json``) that chart the repository's bench trajectory
+over time.  The first harness, :mod:`repro.experiments.broadcast_bench`,
+compares the Decay baseline against the paper's collision-detection
+broadcast.
+"""
+
+__all__ = ["DEFAULT_TOPOLOGIES", "sweep_broadcast", "write_bench"]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: importing the submodule here eagerly would trigger a
+    # double-import RuntimeWarning under `python -m repro.experiments.*`.
+    if name in __all__:
+        from repro.experiments import broadcast_bench
+
+        return getattr(broadcast_bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

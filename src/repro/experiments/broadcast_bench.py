@@ -1,0 +1,210 @@
+"""Decay-vs-GHK comparison sweep and the ``BENCH_broadcast.json`` record.
+
+For every (topology family, protocol) pair the sweep runs a batch of
+seeds — regenerating the random families per seed, so the statistics
+cover graph sampling as well as protocol coins — and aggregates
+rounds-to-delivery, transmissions, and failure counts.  The resulting
+record is the first datapoint of the repository's bench trajectory::
+
+    python -m repro.experiments.broadcast_bench --n 64 --seeds 30 \
+        --out BENCH_broadcast.json
+
+A :class:`~repro.errors.BroadcastFailure` during a run is *counted*, not
+raised: a w.h.p. protocol under ``fast`` constants is allowed rare
+failures, and the record keeps them visible instead of crashing the
+sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.errors import AnalysisError, BroadcastFailure, TopologyError
+from repro.params import ProtocolParams
+from repro.sim.runners import BROADCAST_PROTOCOL_NAMES, broadcast_runner
+from repro.sim.topology import TOPOLOGY_NAMES, from_spec
+
+__all__ = ["DEFAULT_TOPOLOGIES", "sweep_broadcast", "write_bench", "main"]
+
+#: The full comparison suite from the ISSUE (star is omitted by default:
+#: with a hub source it is a one-round broadcast for every protocol).
+DEFAULT_TOPOLOGIES: tuple[str, ...] = (
+    "line",
+    "ring",
+    "grid",
+    "gnp",
+    "dumbbell",
+    "unit_disk",
+)
+
+
+def _summary(values: list[int]) -> dict:
+    """Aggregate a non-empty list of per-run round counts."""
+    return {
+        "mean": round(statistics.mean(values), 2),
+        "median": statistics.median(values),
+        "min": min(values),
+        "max": max(values),
+        "stdev": round(statistics.stdev(values), 2) if len(values) > 1 else 0.0,
+    }
+
+
+def sweep_broadcast(
+    *,
+    topologies: tuple[str, ...] = DEFAULT_TOPOLOGIES,
+    protocols: tuple[str, ...] = BROADCAST_PROTOCOL_NAMES,
+    n: int = 64,
+    seeds: int = 30,
+    preset: str = "fast",
+) -> dict:
+    """Run the comparison sweep and return the bench record as a dict.
+
+    Raises :class:`AnalysisError` on malformed input (unknown topology or
+    protocol name, non-positive batch sizes) before any simulation runs.
+    """
+    if n < 1:
+        raise AnalysisError(f"need at least one node, got n={n}")
+    if seeds < 1:
+        raise AnalysisError(f"need at least one seed, got seeds={seeds}")
+    if preset not in ("paper", "fast"):
+        raise AnalysisError(f"unknown preset {preset!r}; choose paper or fast")
+    unknown = [t for t in topologies if t not in TOPOLOGY_NAMES]
+    if unknown:
+        raise AnalysisError(f"unknown topologies {unknown}; choose from {TOPOLOGY_NAMES}")
+    unknown = [p for p in protocols if p not in BROADCAST_PROTOCOL_NAMES]
+    if unknown:
+        raise AnalysisError(
+            f"unknown protocols {unknown}; choose from {BROADCAST_PROTOCOL_NAMES}"
+        )
+    params = ProtocolParams.paper() if preset == "paper" else ProtocolParams.fast()
+
+    results = []
+    for family in topologies:
+        # One network per seed, shared by every protocol: both protocols
+        # intentionally race on the same seed-derived graph, and building
+        # (and BFS-ing) it once per seed instead of once per (seed,
+        # protocol) halves the topology work.
+        try:
+            nets = [from_spec(family, n, seed=seed) for seed in range(seeds)]
+        except TopologyError as exc:
+            raise AnalysisError(f"cannot build {family} with n={n}: {exc}") from exc
+        diameters = [net.eccentricity() for net in nets]
+        per_protocol: dict[str, dict] = {}
+        for protocol in protocols:
+            runner = broadcast_runner(protocol)
+            rounds: list[int] = []
+            transmissions: list[int] = []
+            budgets: list[int] = []
+            failures = 0
+            for seed, net in enumerate(nets):
+                try:
+                    result = runner(net, params, seed=seed)
+                except BroadcastFailure:
+                    failures += 1
+                    continue
+                rounds.append(result.rounds_to_delivery)
+                transmissions.append(result.sim.total_transmissions)
+                budgets.append(result.budget)
+            entry = {
+                "topology": family,
+                "protocol": protocol,
+                "n": n,
+                "runs": seeds,
+                "failures": failures,
+                "source_eccentricity_mean": round(statistics.mean(diameters), 2),
+            }
+            if rounds:
+                entry["rounds"] = _summary(rounds)
+                entry["rounds_all"] = rounds
+                entry["transmissions_mean"] = round(statistics.mean(transmissions), 2)
+                entry["budget_mean"] = round(statistics.mean(budgets), 2)
+            results.append(entry)
+            per_protocol[protocol] = entry
+        if "decay" in per_protocol and "ghk" in per_protocol:
+            d, g = per_protocol["decay"], per_protocol["ghk"]
+            if "rounds" in d and "rounds" in g and g["rounds"]["mean"] > 0:
+                # Mean-of-means speedup of GHK over the Decay baseline.
+                g["speedup_vs_decay"] = round(
+                    d["rounds"]["mean"] / g["rounds"]["mean"], 2
+                )
+
+    return {
+        "bench": "broadcast",
+        "paper": "conf_podc_GhaffariHK13",
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "preset": preset,
+        "n": n,
+        "seeds": seeds,
+        "protocols": list(protocols),
+        "topologies": list(topologies),
+        "results": results,
+    }
+
+
+def write_bench(record: dict, path: str | Path) -> Path:
+    """Write a bench record as pretty-printed JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.broadcast_bench",
+        description="Sweep Decay vs GHK across the topology suite.",
+    )
+    parser.add_argument("--n", type=int, default=64, help="nodes per network")
+    parser.add_argument("--seeds", type=int, default=30, help="seeds per (family, protocol)")
+    parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
+    parser.add_argument(
+        "--topologies",
+        nargs="+",
+        default=list(DEFAULT_TOPOLOGIES),
+        choices=TOPOLOGY_NAMES,
+        metavar="FAMILY",
+        help=f"families to sweep (default: {' '.join(DEFAULT_TOPOLOGIES)})",
+    )
+    parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(BROADCAST_PROTOCOL_NAMES),
+        choices=BROADCAST_PROTOCOL_NAMES,
+        metavar="PROTO",
+        help=f"protocols to compare (default: {' '.join(BROADCAST_PROTOCOL_NAMES)})",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_broadcast.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    try:
+        record = sweep_broadcast(
+            topologies=tuple(args.topologies),
+            protocols=tuple(args.protocols),
+            n=args.n,
+            seeds=args.seeds,
+            preset=args.preset,
+        )
+    except AnalysisError as exc:
+        print(f"sweep error: {exc}", file=sys.stderr)
+        return 2
+    path = write_bench(record, args.out)
+    for entry in record["results"]:
+        rounds = entry.get("rounds")
+        mean = rounds["mean"] if rounds else "-"
+        speedup = entry.get("speedup_vs_decay")
+        extra = f"  speedup-vs-decay={speedup}x" if speedup is not None else ""
+        print(
+            f"{entry['topology']:>10s} {entry['protocol']:>6s}: "
+            f"mean rounds={mean} failures={entry['failures']}/{entry['runs']}{extra}"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

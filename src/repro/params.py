@@ -81,6 +81,16 @@ class ProtocolParams:
     #: Maximum GST rank considered by the distributed construction, as an
     #: additive offset over ``⌈log2 n⌉`` (ranks never exceed ``⌈log2 n⌉``).
     max_rank_offset: int = 1
+    #: Rounds between successive pipelined beep waves, which is also the
+    #: layer-slot reuse period of the collision-detection broadcast.  Must be
+    #: >= 3: with period 3 a node can tell its own layer's slot apart from
+    #: both the forward wave (layer d-1) and the backward echo (layer d+1),
+    #: so waves never interfere (Section 2 of the paper).
+    wave_spacing: int = 3
+    #: Length of one GHK contention-backoff cycle, in layer slots, as a
+    #: multiple of ``⌈log2 n⌉`` (the decay-within-a-layer analogue of a
+    #: Decay phase).
+    ghk_backoff_factor: float = 1.0
 
     def __post_init__(self) -> None:
         # Invalid constants must fail at construction, not deep inside a
@@ -169,6 +179,38 @@ class ProtocolParams:
         base = diameter + k_messages * log_n + log_n * log_n
         return int(math.ceil(self.schedule_slack * base)) + self.schedule_slack_additive
 
+    def beepwave_rounds(self, eccentricity: int) -> int:
+        """Rounds for one synchronization beep wave to cover the network.
+
+        The wave is deterministic under collision detection — the pulse
+        launched by the source in round 0 reaches hop distance ``d`` in
+        round ``d - 1`` and is relayed in round ``d`` — so exactly
+        ``eccentricity + 1`` rounds cover every node, no slack needed.
+        """
+        if eccentricity < 0:
+            raise ConfigurationError(
+                f"eccentricity must be non-negative, got {eccentricity}"
+            )
+        return eccentricity + 1
+
+    def ghk_backoff_slots(self, n_bound: int) -> int:
+        """Layer slots in one GHK contention-backoff cycle (Θ(log n))."""
+        return max(1, math.ceil(self.ghk_backoff_factor * self.log_n(n_bound)))
+
+    def ghk_broadcast_rounds(self, diameter: int, n_bound: int) -> int:
+        """Round budget for the collision-detection broadcast: ``O(D + log^2 n)``.
+
+        The sync wave costs ``D`` rounds, each layer slot recurs every
+        ``wave_spacing`` rounds, and resolving the worst single layer's
+        contention takes ``O(log^2 n)`` slots w.h.p.; the usual multiplicative
+        and additive slack absorbs the partially-pipelined remainder.
+        """
+        if diameter < 0:
+            raise ConfigurationError(f"diameter must be non-negative, got {diameter}")
+        slots = diameter + self.ghk_backoff_slots(n_bound) * self.decay_whp_phases(n_bound)
+        rounds = math.ceil(self.schedule_slack * self.wave_spacing * slots)
+        return int(rounds) + self.schedule_slack_additive
+
     def decay_broadcast_rounds(self, diameter: int, n_bound: int) -> int:
         """Round budget for plain Decay broadcast: ``O((D + log n) log n)``.
 
@@ -193,6 +235,7 @@ class ProtocolParams:
             "schedule_slack",
             "fec_expansion",
             "batch_size_factor",
+            "ghk_backoff_factor",
         ]
         for name in positive_fields:
             if getattr(self, name) <= 0:
@@ -203,3 +246,8 @@ class ProtocolParams:
             raise ConfigurationError("ring_width must be a positive number of layers")
         if self.max_rank_offset < 0:
             raise ConfigurationError("max_rank_offset must be non-negative")
+        if not isinstance(self.wave_spacing, int) or self.wave_spacing < 3:
+            raise ConfigurationError(
+                "wave_spacing must be an integer >= 3 (adjacent pipelined waves "
+                f"interfere below 3), got {self.wave_spacing!r}"
+            )

@@ -6,14 +6,29 @@ Layers, bottom-up:
 * :mod:`repro.sim.topology` — :class:`RadioNetwork` and graph generators;
 * :mod:`repro.sim.protocol` — the per-node protocol API and registry;
 * :mod:`repro.sim.engine` — the vectorized round loop and channel model;
-* :mod:`repro.sim.decay` — the first protocol on the engine (Decay).
+* :mod:`repro.sim.decay` — the collision-blind Decay baseline (BGI 1992);
+* :mod:`repro.sim.beepwave` — the collision-detection beep-wave layer:
+  1-bit pulses that advance one hop per round and synchronize the network;
+* :mod:`repro.sim.ghk_broadcast` — the paper's broadcast on top of the
+  wave: layered slot schedule + decay backoff, ``O(D + log^2 n)``;
+* :mod:`repro.sim.runners` — name-based dispatch of the ``run_*`` drivers.
 """
 
+from repro.sim.beepwave import (
+    WAVE_PULSE,
+    BeepWaveProtocol,
+    BeepWaveResult,
+    in_layer_slot,
+    is_beep,
+    run_beep_wave,
+)
 from repro.sim.decay import DecayProtocol, DecayResult, run_decay
 from repro.sim.engine import Engine, RoundStats, SimResult
+from repro.sim.ghk_broadcast import GHKBroadcastProtocol, GHKResult, run_ghk_broadcast
 from repro.sim.protocol import (
     Action,
     ActionKind,
+    BroadcastProtocol,
     Feedback,
     FeedbackKind,
     NodeContext,
@@ -23,6 +38,11 @@ from repro.sim.protocol import (
     register_protocol,
 )
 from repro.sim.rng import SeededStreams, node_streams, stream
+from repro.sim.runners import (
+    BROADCAST_PROTOCOL_NAMES,
+    BROADCAST_RUNNERS,
+    broadcast_runner,
+)
 from repro.sim.topology import (
     TOPOLOGY_NAMES,
     RadioNetwork,
@@ -39,11 +59,18 @@ from repro.sim.topology import (
 __all__ = [
     "Action",
     "ActionKind",
+    "BROADCAST_PROTOCOL_NAMES",
+    "BROADCAST_RUNNERS",
+    "BeepWaveProtocol",
+    "BeepWaveResult",
+    "BroadcastProtocol",
     "DecayProtocol",
     "DecayResult",
     "Engine",
     "Feedback",
     "FeedbackKind",
+    "GHKBroadcastProtocol",
+    "GHKResult",
     "NodeContext",
     "Protocol",
     "RadioNetwork",
@@ -51,17 +78,23 @@ __all__ = [
     "SeededStreams",
     "SimResult",
     "TOPOLOGY_NAMES",
+    "WAVE_PULSE",
     "available_protocols",
+    "broadcast_runner",
     "dumbbell",
     "from_spec",
     "gnp",
     "grid2d",
+    "in_layer_slot",
+    "is_beep",
     "line",
     "node_streams",
     "protocol_class",
     "register_protocol",
     "ring",
+    "run_beep_wave",
     "run_decay",
+    "run_ghk_broadcast",
     "star",
     "stream",
     "unit_disk",

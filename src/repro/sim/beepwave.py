@@ -1,0 +1,193 @@
+"""The beep-wave synchronization layer (Section 2 of the paper).
+
+With collision detection a listening node can tell *something was sent*
+apart from *nothing was sent* even when the something is garbled — a
+collision is as informative as a clean packet.  That 1-bit channel turns a
+transmission into a **beep**, and beeps propagate as a **wave**: the source
+beeps in round 0, and every node that detects its first beep in round
+``r`` (necessarily from hop distance ``r``) re-beeps in round ``r + 1``.
+The wave therefore advances exactly one hop per round, regardless of how
+many nodes beep simultaneously, and teaches every node its exact BFS
+distance from the source — a distributed round/phase synchronization
+primitive that collision-*blind* radios fundamentally lack (without
+detection the wave stalls wherever two relays overlap).
+
+The layer exports:
+
+* :data:`WAVE_PULSE` — the sentinel payload of a pure synchronization
+  pulse.  Pulses may be transmitted with any payload (receivers that only
+  detect a collision never see it), so protocols stacked on the wave are
+  free to piggyback real data on their pulses; the sentinel marks a pulse
+  that carries none.
+* :func:`is_beep` — the CD predicate: feedback counts as a beep iff it is
+  not silence.
+* :func:`in_layer_slot` — slot arithmetic for wave pipelining: with a
+  spacing of at least 3 rounds, layer ``d``'s repeat slots
+  (``round ≡ d  (mod spacing)``) never collide with the forward wave from
+  layer ``d - 1`` or the backward echo from layer ``d + 1``.
+* :class:`BeepWaveProtocol` / :func:`run_beep_wave` — the single-wave
+  protocol on its own, used to test the layer and to measure distances.
+
+:mod:`repro.sim.ghk_broadcast` builds the paper's broadcast on top of
+these pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BroadcastFailure
+from repro.params import ProtocolParams
+from repro.sim.engine import Engine, SimResult
+from repro.sim.protocol import (
+    Action,
+    Feedback,
+    FeedbackKind,
+    NodeContext,
+    Protocol,
+    register_protocol,
+)
+from repro.sim.topology import RadioNetwork
+
+__all__ = [
+    "WAVE_PULSE",
+    "is_beep",
+    "in_layer_slot",
+    "BeepWaveProtocol",
+    "BeepWaveResult",
+    "run_beep_wave",
+]
+
+
+class _WavePulse:
+    """Singleton payload of a content-free synchronization pulse."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "WAVE_PULSE"
+
+
+#: The payload a node transmits when it beeps without data to piggyback.
+WAVE_PULSE = _WavePulse()
+
+
+def is_beep(feedback: Feedback) -> bool:
+    """Whether a listening node with collision detection heard a beep.
+
+    Under collision detection both a clean message and a collision prove
+    that at least one neighbour transmitted; only silence is not a beep.
+    """
+    return feedback.kind is not FeedbackKind.SILENCE
+
+
+def in_layer_slot(round_index: int, wave_distance: int, spacing: int) -> bool:
+    """Whether ``round_index`` is a repeat slot of layer ``wave_distance``.
+
+    Layer ``d`` owns rounds ``d, d + spacing, d + 2·spacing, ...``; the
+    first of those is the node's sync-pulse relay, so only strictly later
+    rounds count as repeat slots.
+    """
+    return (
+        round_index > wave_distance
+        and (round_index - wave_distance) % spacing == 0
+    )
+
+
+@register_protocol("beepwave")
+class BeepWaveProtocol(Protocol):
+    """Propagate one synchronization beep wave and learn the BFS distance.
+
+    Listens until the first beep, records ``wave_distance`` as that round
+    plus one, relays the pulse exactly once in round ``wave_distance``, and
+    then sleeps.  Under collision detection the learned distances are the
+    exact BFS layers; without it the wave stalls (or detours) wherever two
+    relays collide, which :func:`run_beep_wave` lets you demonstrate.
+    """
+
+    def setup(self, ctx: NodeContext) -> None:
+        super().setup(ctx)
+        #: hop distance from the source, learned when the wave arrives.
+        self.wave_distance: int | None = 0 if ctx.is_source else None
+        self._pulse_sent = False
+
+    def act(self, round_index: int) -> Action:
+        if self.wave_distance is None:
+            return Action.listen()
+        if not self._pulse_sent and round_index >= self.wave_distance:
+            self._pulse_sent = True
+            return Action.transmit(WAVE_PULSE)
+        return Action.sleep()
+
+    def on_feedback(self, round_index: int, feedback: Feedback) -> None:
+        if self.wave_distance is None and is_beep(feedback):
+            self.wave_distance = feedback.round_index + 1
+
+    def finished(self) -> bool:
+        return self._pulse_sent
+
+
+@dataclass(frozen=True)
+class BeepWaveResult:
+    """Outcome of one successful :func:`run_beep_wave`."""
+
+    network: str
+    n: int
+    seed: int
+    budget: int
+    rounds_run: int
+    #: per-node distance learned from the wave (0 for the source).  Equal to
+    #: the true BFS layers whenever collision detection is on.
+    wave_distances: tuple[int, ...]
+    sim: SimResult
+
+
+def run_beep_wave(
+    network: RadioNetwork,
+    params: ProtocolParams | None = None,
+    *,
+    seed: int = 0,
+    collision_detection: bool = True,
+    n_bound: int | None = None,
+    budget: int | None = None,
+    trace: bool = False,
+) -> BeepWaveResult:
+    """Run one synchronization wave from the network's source.
+
+    Runs until every node has learned a distance and relayed the pulse, or
+    the round budget (default: the deterministic
+    :meth:`ProtocolParams.beepwave_rounds` for the source eccentricity)
+    expires, in which case :class:`BroadcastFailure` is raised carrying the
+    unsynchronized node set.  Pass ``collision_detection=False`` to watch
+    the wave stall on any topology where relays collide.
+    """
+    params = params if params is not None else ProtocolParams.paper()
+    bound = n_bound if n_bound is not None else network.n
+    if budget is None:
+        budget = params.beepwave_rounds(network.eccentricity())
+    protocols = [BeepWaveProtocol() for _ in range(network.n)]
+    engine = Engine(
+        network,
+        protocols,
+        seed=seed,
+        collision_detection=collision_detection,
+        params=params,
+        n_bound=bound,
+        trace=trace,
+    )
+    sim = engine.run(budget, stop_when=lambda eng: all(p.finished() for p in protocols))
+    unsynced = tuple(i for i, p in enumerate(protocols) if p.wave_distance is None)
+    if unsynced:
+        raise BroadcastFailure(
+            f"beep wave on {network.name} (seed={seed}) left {len(unsynced)} of "
+            f"{network.n} nodes unsynchronized after {budget} rounds"
+            + ("" if collision_detection else " (collision detection was off)"),
+            unsynced,
+        )
+    return BeepWaveResult(
+        network=network.name,
+        n=network.n,
+        seed=seed,
+        budget=budget,
+        rounds_run=sim.rounds_run,
+        wave_distances=tuple(p.wave_distance for p in protocols),
+        sim=sim,
+    )

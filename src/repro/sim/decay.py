@@ -21,15 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import BroadcastFailure, ConfigurationError
+from repro.errors import ConfigurationError
 from repro.params import ProtocolParams
-from repro.sim.engine import Engine, SimResult
+from repro.sim.engine import Engine, SimResult, run_until_all_informed
 from repro.sim.protocol import (
     Action,
+    BroadcastProtocol,
     Feedback,
     FeedbackKind,
     NodeContext,
-    Protocol,
     register_protocol,
 )
 from repro.sim.topology import RadioNetwork
@@ -38,14 +38,14 @@ __all__ = ["DecayProtocol", "DecayResult", "run_decay"]
 
 
 @register_protocol("decay")
-class DecayProtocol(Protocol):
+class DecayProtocol(BroadcastProtocol):
     """Per-node Decay state machine."""
 
     def setup(self, ctx: NodeContext) -> None:
         super().setup(ctx)
         self.phase_length = ctx.params.decay_phase_length(ctx.n_bound)
         self.informed = ctx.is_source
-        self.message: Any = "broadcast" if ctx.is_source else None
+        self.message: Any = self._injected_message if ctx.is_source else None
         self.informed_round: int | None = 0 if ctx.is_source else None
         self._active = False
 
@@ -117,7 +117,7 @@ def run_decay(
     bound = n_bound if n_bound is not None else network.n
     if budget is None:
         budget = params.decay_broadcast_rounds(network.eccentricity(), bound)
-    protocols = [DecayProtocol() for _ in range(network.n)]
+    protocols = [DecayProtocol(message=message) for _ in range(network.n)]
     engine = Engine(
         network,
         protocols,
@@ -127,15 +127,7 @@ def run_decay(
         n_bound=bound,
         trace=trace,
     )
-    protocols[network.source].message = message
-    sim = engine.run(budget, stop_when=lambda eng: all(p.informed for p in protocols))
-    undelivered = tuple(i for i, p in enumerate(protocols) if not p.informed)
-    if undelivered:
-        raise BroadcastFailure(
-            f"Decay on {network.name} (seed={seed}) left {len(undelivered)} of "
-            f"{network.n} nodes uninformed after {budget} rounds",
-            undelivered,
-        )
+    sim = run_until_all_informed(engine, budget, label="Decay", seed=seed)
     return DecayResult(
         network=network.name,
         n=network.n,

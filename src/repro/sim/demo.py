@@ -1,12 +1,15 @@
-"""Smoke-test CLI: run Decay end-to-end on a chosen topology.
+"""Smoke-test CLI: run one broadcast protocol end-to-end on a chosen topology.
 
 Example::
 
-    python -m repro.sim.demo --topology grid --n 64 --seed 0
+    python -m repro.sim.demo --topology grid --n 64 --seed 0 --protocol ghk
 
-Prints the topology summary, the round budget, and the rounds/phases it
-took to inform every node; exits non-zero on a :class:`BroadcastFailure`
-so the command doubles as a shell-scriptable smoke test.
+Prints the topology summary, the round budget, and the rounds it took to
+inform every node; exits non-zero on a :class:`BroadcastFailure` so the
+command doubles as a shell-scriptable smoke test.  ``--protocol decay``
+(the default) runs the collision-blind baseline; ``--protocol ghk`` runs
+the paper's collision-detection broadcast, which always models collision
+detection regardless of the flag.
 """
 
 from __future__ import annotations
@@ -16,7 +19,9 @@ import sys
 
 from repro.errors import BroadcastFailure, TopologyError
 from repro.params import ProtocolParams
-from repro.sim.decay import run_decay
+from repro.sim.decay import DecayResult
+from repro.sim.ghk_broadcast import GHKResult
+from repro.sim.runners import BROADCAST_PROTOCOL_NAMES, broadcast_runner
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
 
@@ -30,10 +35,16 @@ def _seed(value: str) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim.demo",
-        description="Broadcast one message with the Decay protocol.",
+        description="Broadcast one message with a registered protocol.",
     )
     parser.add_argument("--topology", choices=TOPOLOGY_NAMES, default="grid")
     parser.add_argument("--n", type=int, default=64, help="number of nodes")
+    parser.add_argument(
+        "--protocol",
+        choices=BROADCAST_PROTOCOL_NAMES,
+        default="decay",
+        help="broadcast protocol to run (default: decay)",
+    )
     parser.add_argument("--seed", type=_seed, default=0, help="run seed (topology + coins)")
     parser.add_argument(
         "--preset",
@@ -46,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--collision-detection",
         action="store_true",
-        help="model collision detection (Decay ignores it; affects feedback only)",
+        help="model collision detection (Decay ignores it; ghk always has it)",
     )
     return parser
 
@@ -63,21 +74,30 @@ def main(argv: list[str] | None = None) -> int:
         f"{net.name}: n={net.n} edges={net.num_edges} "
         f"source-ecc={net.eccentricity()} diameter={net.diameter()}"
     )
+    runner = broadcast_runner(args.protocol)
+    kwargs = {}
+    if args.protocol == "decay":
+        # GHK always models collision detection; for Decay it is a choice
+        # (which the protocol then ignores anyway).
+        kwargs["collision_detection"] = args.collision_detection
     try:
-        result = run_decay(
-            net,
-            params,
-            seed=args.seed,
-            collision_detection=args.collision_detection,
-        )
+        result = runner(net, params, seed=args.seed, **kwargs)
     except BroadcastFailure as exc:
         print(f"FAILED: {exc} (undelivered: {sorted(exc.undelivered)})", file=sys.stderr)
         return 1
     print(
-        f"delivered to all {result.n} nodes in {result.rounds_to_delivery} rounds "
-        f"({result.phases_to_delivery} phases of {result.phase_length}) "
-        f"within budget {result.budget}"
+        f"{args.protocol}: delivered to all {result.n} nodes in "
+        f"{result.rounds_to_delivery} rounds within budget {result.budget}"
     )
+    if isinstance(result, DecayResult):
+        print(
+            f"{result.phases_to_delivery} Decay phases of {result.phase_length} rounds"
+        )
+    elif isinstance(result, GHKResult):
+        print(
+            f"wave depth {max(result.wave_distances)}, "
+            f"layer-slot period {result.wave_spacing}"
+        )
     print(
         f"transmissions={result.sim.total_transmissions} "
         f"deliveries={result.sim.total_deliveries} "

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import BroadcastFailure, SimulationError
 from repro.params import ProtocolParams
 from repro.sim.protocol import (
     Action,
@@ -39,7 +39,7 @@ from repro.sim.protocol import (
 from repro.sim.rng import SeededStreams
 from repro.sim.topology import RadioNetwork
 
-__all__ = ["Engine", "RoundStats", "SimResult"]
+__all__ = ["Engine", "RoundStats", "SimResult", "run_until_all_informed"]
 
 
 @dataclass(frozen=True)
@@ -115,6 +115,7 @@ class Engine:
                     is_source=(node == network.source),
                     params=self.params,
                     rng=self.streams.nodes[node],
+                    collision_detection=collision_detection,
                 )
             )
 
@@ -234,3 +235,24 @@ class Engine:
             total_collisions=self._total_collisions - start_collisions,
             history=tuple(self._history[start_history:]),
         )
+
+
+def run_until_all_informed(engine: Engine, budget: int, *, label: str, seed: int) -> SimResult:
+    """The shared tail of every single-message broadcast driver.
+
+    Runs ``engine`` until every protocol's ``informed`` flag is set (the
+    :class:`~repro.sim.protocol.BroadcastProtocol` completion predicate) or
+    the round ``budget`` expires, in which case :class:`BroadcastFailure`
+    is raised carrying the undelivered node set.
+    """
+    protocols = engine.protocols
+    sim = engine.run(budget, stop_when=lambda eng: all(p.informed for p in protocols))
+    undelivered = tuple(i for i, p in enumerate(protocols) if not p.informed)
+    if undelivered:
+        raise BroadcastFailure(
+            f"{label} on {engine.network.name} (seed={seed}) left "
+            f"{len(undelivered)} of {engine.network.n} nodes uninformed "
+            f"after {budget} rounds",
+            undelivered,
+        )
+    return sim

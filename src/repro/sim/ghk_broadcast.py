@@ -1,0 +1,213 @@
+"""The paper's collision-detection broadcast (GHK), built on beep waves.
+
+The protocol layers two mechanisms on the :mod:`repro.sim.beepwave`
+primitive to beat Decay's ``O((D + log n) log n)`` bound:
+
+1. **Wave synchronization.**  A single beep wave sweeps the network in
+   ``D`` rounds and teaches every node its BFS layer ``d``
+   (``wave_distance``).  The source's pulse — and every relay pulse sent
+   by a node that already holds the message — carries the *actual
+   broadcast message* as its payload, so wherever the wavefront is locally
+   uncontended (one relay per receiver: paths, rings, bridges, cluster
+   heads) the message is delivered by the wave itself at one hop per
+   round.  Only receivers whose pulse arrived as a collision still need
+   the second mechanism.
+
+2. **Layered slot schedule with decay backoff.**  After the wave has
+   passed, round ``t`` belongs to layer ``d ≡ t (mod wave_spacing)``.
+   With a spacing of at least 3, a listener in layer ``d + 1`` can only
+   ever hear layer-``d`` transmitters during layer ``d``'s slots — the
+   schedule removes *all* cross-layer collisions, which is what lets
+   progress pipeline at one slot per hop instead of one ``Θ(log n)``
+   Decay phase per hop.  Within a layer, informed nodes resolve residual
+   same-layer contention Decay-style: in its ``k``-th owned slot since
+   becoming informed, a node transmits the message with probability
+   ``2^-(k mod B)`` where ``B = Θ(log n)`` slots
+   (:meth:`ProtocolParams.ghk_backoff_slots`), so some slot has roughly
+   one expected transmitter no matter the layer's informed population.
+
+Total: ``D`` rounds of wave plus ``O(log^2 n)`` slots of worst-layer
+contention, pipelined — the ``O(D + log^2 n)`` regime of the paper,
+against Decay's ``O((D + log n) log n)``.
+
+The protocol is *only correct with collision detection* (the wave stalls
+without it), so :func:`run_ghk_broadcast` and
+:meth:`GHKBroadcastProtocol.setup` reject collision-blind channels with
+:class:`ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.params import ProtocolParams
+from repro.sim.beepwave import WAVE_PULSE, in_layer_slot, is_beep
+from repro.sim.engine import Engine, SimResult, run_until_all_informed
+from repro.sim.protocol import (
+    Action,
+    BroadcastProtocol,
+    Feedback,
+    FeedbackKind,
+    NodeContext,
+    register_protocol,
+)
+from repro.sim.topology import RadioNetwork
+
+__all__ = ["GHKBroadcastProtocol", "GHKResult", "run_ghk_broadcast"]
+
+
+@register_protocol("ghk")
+class GHKBroadcastProtocol(BroadcastProtocol):
+    """Per-node state machine of the collision-detection broadcast."""
+
+    def __init__(self, message: Any = "broadcast"):
+        super().__init__(message)
+        if message is WAVE_PULSE:
+            # The sentinel marks a *content-free* pulse; a broadcast whose
+            # payload is the sentinel could never be recognised as
+            # delivered (on_feedback deliberately ignores it).
+            raise ConfigurationError(
+                "WAVE_PULSE is reserved for synchronization pulses and "
+                "cannot be the broadcast message"
+            )
+
+    def setup(self, ctx: NodeContext) -> None:
+        super().setup(ctx)
+        if not ctx.collision_detection:
+            raise ConfigurationError(
+                "GHKBroadcastProtocol requires collision detection: without it "
+                "the synchronization beep wave stalls at the first contended hop"
+            )
+        self.spacing = ctx.params.wave_spacing
+        self.backoff_slots = ctx.params.ghk_backoff_slots(ctx.n_bound)
+        self.informed = ctx.is_source
+        self.message: Any = self._injected_message if ctx.is_source else None
+        self.informed_round: int | None = 0 if ctx.is_source else None
+        #: BFS layer, learned when the sync wave arrives (0 for the source).
+        self.wave_distance: int | None = 0 if ctx.is_source else None
+        self._pulse_sent = False
+        self._slots_since_informed = 0
+
+    # ------------------------------------------------------------------ #
+    # Round behaviour
+    # ------------------------------------------------------------------ #
+    def act(self, round_index: int) -> Action:
+        if self.wave_distance is None:
+            # Waiting for the sync wave; the first beep fixes our layer.
+            return Action.listen()
+        if not self._pulse_sent and round_index >= self.wave_distance:
+            # Relay the wave exactly once; piggyback the message if we have
+            # it so uncontended receivers are informed by the wave itself.
+            self._pulse_sent = True
+            return Action.transmit(self.message if self.informed else WAVE_PULSE)
+        if self.informed:
+            if in_layer_slot(round_index, self.wave_distance, self.spacing):
+                k = self._slots_since_informed % self.backoff_slots
+                self._slots_since_informed += 1
+                if self.ctx.rng.random() < 2.0 ** (-k):
+                    return Action.transmit(self.message)
+            return Action.sleep()
+        # Uninformed but synchronized: listen everywhere — the message may
+        # arrive from the previous layer's slot, from a same-layer
+        # neighbour, or even from behind.
+        return Action.listen()
+
+    def on_feedback(self, round_index: int, feedback: Feedback) -> None:
+        if self.wave_distance is None:
+            if is_beep(feedback):
+                self.wave_distance = feedback.round_index + 1
+            else:
+                return
+        if (
+            not self.informed
+            and feedback.kind is FeedbackKind.MESSAGE
+            and feedback.message is not WAVE_PULSE
+        ):
+            self.informed = True
+            self.message = feedback.message
+            self.informed_round = round_index
+
+    def finished(self) -> bool:
+        return self.informed
+
+
+@dataclass(frozen=True)
+class GHKResult:
+    """Outcome of one successful :func:`run_ghk_broadcast`."""
+
+    network: str
+    n: int
+    seed: int
+    budget: int
+    #: rounds executed until every node was informed.
+    rounds_to_delivery: int
+    #: per-node round at which the message arrived (0 for the source).
+    informed_rounds: tuple[int, ...]
+    #: per-node BFS layer as learned from the sync wave.
+    wave_distances: tuple[int, ...]
+    #: layer-slot reuse period used by this run.
+    wave_spacing: int
+    sim: SimResult
+
+
+def run_ghk_broadcast(
+    network: RadioNetwork,
+    params: ProtocolParams | None = None,
+    *,
+    seed: int = 0,
+    message: Any = "broadcast",
+    collision_detection: bool = True,
+    n_bound: int | None = None,
+    budget: int | None = None,
+    trace: bool = False,
+) -> GHKResult:
+    """Broadcast ``message`` from the source with the GHK protocol.
+
+    Runs until every node is informed or the round budget (default:
+    :meth:`ProtocolParams.ghk_broadcast_rounds` for the source
+    eccentricity) expires, in which case :class:`BroadcastFailure` is
+    raised carrying the undelivered node set — the same contract as
+    :func:`repro.sim.decay.run_decay`, so sweeps can drive both uniformly.
+    """
+    if message is None:
+        raise ConfigurationError(
+            "run_ghk_broadcast needs a non-None message to broadcast"
+        )
+    if message is WAVE_PULSE:
+        raise ConfigurationError(
+            "WAVE_PULSE is reserved for synchronization pulses and cannot be "
+            "the broadcast message"
+        )
+    if not collision_detection:
+        raise ConfigurationError(
+            "run_ghk_broadcast models the paper's collision-detection setting; "
+            "use run_decay for the collision-blind baseline"
+        )
+    params = params if params is not None else ProtocolParams.paper()
+    bound = n_bound if n_bound is not None else network.n
+    if budget is None:
+        budget = params.ghk_broadcast_rounds(network.eccentricity(), bound)
+    protocols = [GHKBroadcastProtocol(message=message) for _ in range(network.n)]
+    engine = Engine(
+        network,
+        protocols,
+        seed=seed,
+        collision_detection=True,
+        params=params,
+        n_bound=bound,
+        trace=trace,
+    )
+    sim = run_until_all_informed(engine, budget, label="GHK", seed=seed)
+    return GHKResult(
+        network=network.name,
+        n=network.n,
+        seed=seed,
+        budget=budget,
+        rounds_to_delivery=sim.rounds_run,
+        informed_rounds=tuple(p.informed_round for p in protocols),
+        wave_distances=tuple(p.wave_distance for p in protocols),
+        wave_spacing=params.wave_spacing,
+        sim=sim,
+    )

@@ -18,7 +18,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.params import ProtocolParams
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -31,6 +31,7 @@ __all__ = [
     "Feedback",
     "NodeContext",
     "Protocol",
+    "BroadcastProtocol",
     "register_protocol",
     "protocol_class",
     "available_protocols",
@@ -95,8 +96,10 @@ class NodeContext:
     """Everything a node legitimately knows before round 0.
 
     Per the model: its own id, the public bound ``n_bound`` on the network
-    size, whether it is the source, the shared parameters, and a private
-    random stream.  Nodes do *not* get the topology.
+    size, whether it is the source, the shared parameters, whether the
+    receivers have collision detection (Section 1.1 — the capability is part
+    of the model, so nodes may rely on it), and a private random stream.
+    Nodes do *not* get the topology.
     """
 
     node: int
@@ -105,6 +108,7 @@ class NodeContext:
     is_source: bool
     params: ProtocolParams
     rng: "np.random.Generator" = field(repr=False)
+    collision_detection: bool = True
 
 
 class Protocol(ABC):
@@ -133,6 +137,23 @@ class Protocol(ABC):
     def finished(self) -> bool:
         """Whether this node considers its protocol complete (advisory)."""
         return False
+
+
+class BroadcastProtocol(Protocol):
+    """Base for single-message broadcast protocols.
+
+    The payload is injected at construction — not patched onto the source
+    after ``Engine.__init__`` has already run ``setup()`` — so a custom
+    message never depends on call ordering.  Subclasses read
+    ``self._injected_message`` in ``setup()`` (only the source actually
+    holds it before round 0) and maintain an ``informed`` flag, which is
+    the completion predicate shared by every ``run_*`` broadcast driver.
+    """
+
+    def __init__(self, message: Any = "broadcast"):
+        if message is None:
+            raise ConfigurationError("the broadcast message must be non-None")
+        self._injected_message = message
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,49 @@
+"""Name-based dispatch of end-to-end broadcast drivers.
+
+The protocol registry (:mod:`repro.sim.protocol`) maps names to per-node
+``Protocol`` classes; this module maps the same names to the *drivers*
+(``run_decay``, ``run_ghk_broadcast``, ...) that build a full protocol
+array, pick a round budget, run the engine, and either return a result
+object or raise :class:`~repro.errors.BroadcastFailure`.  Every driver
+shares the signature::
+
+    runner(network, params=None, *, seed=0, message="broadcast",
+           n_bound=None, budget=None, trace=False, ...)
+
+and every result object exposes at least ``rounds_to_delivery``,
+``informed_rounds``, ``budget`` and ``sim``, which is what the demo CLI
+and the experiments harness rely on to treat protocols uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.sim.decay import run_decay
+from repro.sim.ghk_broadcast import run_ghk_broadcast
+
+__all__ = ["BROADCAST_RUNNERS", "BROADCAST_PROTOCOL_NAMES", "broadcast_runner"]
+
+#: Broadcast drivers by protocol name; each uses the collision-detection
+#: setting its protocol is designed for (Decay is collision-blind, GHK
+#: requires detection).
+BROADCAST_RUNNERS: dict[str, Callable[..., Any]] = {
+    "decay": run_decay,
+    "ghk": run_ghk_broadcast,
+}
+
+#: All runnable broadcast protocol names, sorted.
+BROADCAST_PROTOCOL_NAMES: tuple[str, ...] = tuple(sorted(BROADCAST_RUNNERS))
+
+
+def broadcast_runner(name: str) -> Callable[..., Any]:
+    """Look up a broadcast driver by protocol name."""
+    try:
+        return BROADCAST_RUNNERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown broadcast protocol {name!r}; "
+            f"choose from {BROADCAST_PROTOCOL_NAMES}"
+        ) from None

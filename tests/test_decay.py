@@ -147,6 +147,53 @@ class TestProtocolDetails:
         result = run_decay(net, FAST, seed=0, message={"k": "v"})
         assert result.rounds_to_delivery <= result.budget
 
+    def test_custom_message_arrives_verbatim_at_every_node(self):
+        # Regression for the injection-ordering bug: run_decay used to patch
+        # protocols[source].message *after* setup() had already stored the
+        # default, so a custom payload relied on call ordering.  It is now
+        # injected at construction; the object must reach every node by
+        # identity.
+        payload = ("custom", {"nested": [1, 2, 3]})
+        net = dumbbell(6, 2)
+        protocols = [DecayProtocol(message=payload) for _ in range(net.n)]
+        engine = Engine(net, protocols, seed=4, params=FAST)
+        engine.run(
+            FAST.decay_broadcast_rounds(net.eccentricity(), net.n),
+            stop_when=lambda eng: all(p.informed for p in protocols),
+        )
+        assert all(p.informed for p in protocols)
+        assert all(p.message is payload for p in protocols)
+
+    def test_run_decay_injects_before_setup(self):
+        # End-to-end: the driver itself must deliver the custom payload
+        # verbatim without any post-setup patching.
+        net = line(6)
+        sentinel = object()
+
+        received = []
+
+        class Recording(DecayProtocol):
+            def on_feedback(self, round_index, feedback):
+                was_informed = self.informed
+                super().on_feedback(round_index, feedback)
+                if not was_informed and self.informed:
+                    received.append(self.message)
+
+        protocols = [Recording(message=sentinel) for _ in range(net.n)]
+        engine = Engine(net, protocols, seed=0, params=FAST)
+        engine.run(
+            FAST.decay_broadcast_rounds(net.eccentricity(), net.n),
+            stop_when=lambda eng: all(p.informed for p in protocols),
+        )
+        assert len(received) == net.n - 1
+        assert all(msg is sentinel for msg in received)
+
+    def test_protocol_constructor_rejects_none_message(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="non-None"):
+            DecayProtocol(message=None)
+
     def test_none_message_rejected_at_api_boundary(self):
         from repro.errors import ConfigurationError
 

@@ -26,6 +26,30 @@ def test_demo_paper_preset_and_collision_detection(capsys):
     assert "collisions=" in capsys.readouterr().out
 
 
+def test_demo_ghk_protocol(capsys):
+    assert demo.main(["--topology", "grid", "--n", "64", "--protocol", "ghk"]) == 0
+    out = capsys.readouterr().out
+    assert "ghk: delivered to all 64 nodes" in out
+    assert "wave depth 14" in out
+
+
+@pytest.mark.parametrize("topology", ["line", "ring", "star", "gnp", "dumbbell", "unit_disk"])
+def test_demo_ghk_every_topology(topology, capsys):
+    rc = demo.main(["--topology", topology, "--n", "24", "--seed", "1", "--protocol", "ghk"])
+    assert rc == 0
+    assert "delivered to all 24 nodes" in capsys.readouterr().out
+
+
+def test_demo_decay_reports_phases(capsys):
+    assert demo.main(["--topology", "line", "--n", "8", "--protocol", "decay"]) == 0
+    assert "Decay phases of" in capsys.readouterr().out
+
+
+def test_demo_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        demo.main(["--protocol", "gossip"])
+
+
 def test_demo_reports_topology_error(capsys):
     rc = demo.main(["--topology", "gnp", "--n", "30", "--p", "0.0"])
     assert rc == 2

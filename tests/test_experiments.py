@@ -1,0 +1,99 @@
+"""Tests for the Decay-vs-GHK sweep harness and its bench record."""
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments import DEFAULT_TOPOLOGIES, sweep_broadcast, write_bench
+from repro.experiments.broadcast_bench import main
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return sweep_broadcast(
+            topologies=("line", "gnp"), n=16, seeds=3, preset="fast"
+        )
+
+    def test_record_header(self, record):
+        assert record["bench"] == "broadcast"
+        assert record["paper"] == "conf_podc_GhaffariHK13"
+        assert record["n"] == 16
+        assert record["seeds"] == 3
+        assert record["topologies"] == ["line", "gnp"]
+        assert record["protocols"] == ["decay", "ghk"]
+        assert "created_utc" in record
+
+    def test_one_entry_per_family_protocol_pair(self, record):
+        keys = {(e["topology"], e["protocol"]) for e in record["results"]}
+        assert keys == {(t, p) for t in ("line", "gnp") for p in ("decay", "ghk")}
+
+    def test_entries_aggregate_the_full_batch(self, record):
+        for entry in record["results"]:
+            assert entry["runs"] == 3
+            assert entry["failures"] == 0
+            rounds = entry["rounds"]
+            assert rounds["min"] <= rounds["median"] <= rounds["max"]
+            assert len(entry["rounds_all"]) == 3
+            assert entry["transmissions_mean"] > 0
+
+    def test_ghk_entries_carry_speedup(self, record):
+        ghk = [e for e in record["results"] if e["protocol"] == "ghk"]
+        assert all("speedup_vs_decay" in e for e in ghk)
+        line_entry = next(e for e in ghk if e["topology"] == "line")
+        assert line_entry["speedup_vs_decay"] > 1
+
+    def test_default_topology_suite_is_the_issue_suite(self):
+        assert DEFAULT_TOPOLOGIES == (
+            "line",
+            "ring",
+            "grid",
+            "gnp",
+            "dumbbell",
+            "unit_disk",
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(AnalysisError, match="at least one node"):
+            sweep_broadcast(n=0)
+        with pytest.raises(AnalysisError, match="at least one seed"):
+            sweep_broadcast(seeds=0)
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(AnalysisError, match="unknown topologies"):
+            sweep_broadcast(topologies=("moebius",))
+        with pytest.raises(AnalysisError, match="unknown protocols"):
+            sweep_broadcast(protocols=("gossip",))
+        with pytest.raises(AnalysisError, match="unknown preset"):
+            sweep_broadcast(preset="slow")
+
+    def test_rejects_unbuildable_family_size(self):
+        with pytest.raises(AnalysisError, match="cannot build"):
+            sweep_broadcast(topologies=("ring",), n=2, seeds=1)
+
+
+class TestCLI:
+    def test_writes_valid_json_record(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_broadcast.json"
+        rc = main(
+            ["--n", "12", "--seeds", "2", "--topologies", "line", "--out", str(out)]
+        )
+        assert rc == 0
+        record = json.loads(out.read_text())
+        assert record["bench"] == "broadcast"
+        assert len(record["results"]) == 2
+        stdout = capsys.readouterr().out
+        assert "speedup-vs-decay" in stdout
+        assert str(out) in stdout
+
+    def test_reports_sweep_errors(self, tmp_path, capsys):
+        rc = main(["--n", "0", "--out", str(tmp_path / "x.json")])
+        assert rc == 2
+        assert "sweep error" in capsys.readouterr().err
+
+    def test_write_bench_roundtrip(self, tmp_path):
+        path = write_bench({"bench": "broadcast", "results": []}, tmp_path / "b.json")
+        assert json.loads(path.read_text()) == {"bench": "broadcast", "results": []}

@@ -49,13 +49,13 @@ class TestDerivedQuantities:
 
     def test_budgets_monotone_in_n_bound(self):
         params = ProtocolParams.fast()
-        for method in ("broadcast_budget", "decay_broadcast_rounds"):
+        for method in ("broadcast_budget", "decay_broadcast_rounds", "ghk_broadcast_rounds"):
             values = [getattr(params, method)(10, n) for n in (2, 8, 64, 512, 4096)]
             assert values == sorted(values), f"{method} not monotone: {values}"
 
     def test_budgets_monotone_in_diameter(self):
         params = ProtocolParams.fast()
-        for method in ("broadcast_budget", "decay_broadcast_rounds"):
+        for method in ("broadcast_budget", "decay_broadcast_rounds", "ghk_broadcast_rounds"):
             values = [getattr(params, method)(d, 64) for d in (0, 1, 10, 100)]
             assert values == sorted(values)
 
@@ -69,6 +69,31 @@ class TestDerivedQuantities:
         with pytest.raises(ConfigurationError):
             ProtocolParams.fast().decay_broadcast_rounds(-1, 64)
 
+    def test_beepwave_rounds_is_exact(self):
+        # The wave is deterministic: eccentricity + 1 rounds, no slack.
+        params = ProtocolParams.fast()
+        assert params.beepwave_rounds(0) == 1
+        assert params.beepwave_rounds(63) == 64
+        with pytest.raises(ConfigurationError):
+            params.beepwave_rounds(-1)
+
+    def test_ghk_backoff_slots_scale_with_log_n(self):
+        params = ProtocolParams.paper()
+        assert params.ghk_backoff_slots(2) == 1
+        assert params.ghk_backoff_slots(64) == 6
+        assert params.ghk_backoff_slots(1024) == 10
+
+    def test_ghk_budget_dominates_the_wave(self):
+        # The GHK budget must always cover at least the sync wave plus one
+        # full backoff cycle per layer slot — sanity floor, not exact form.
+        params = ProtocolParams.fast()
+        for d, n in ((0, 2), (14, 64), (255, 256)):
+            assert params.ghk_broadcast_rounds(d, n) > params.wave_spacing * d
+
+    def test_ghk_budget_rejects_negative_diameter(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams.fast().ghk_broadcast_rounds(-1, 64)
+
 
 POSITIVE_FIELDS = [
     "decay_phase_factor",
@@ -79,6 +104,7 @@ POSITIVE_FIELDS = [
     "schedule_slack",
     "fec_expansion",
     "batch_size_factor",
+    "ghk_backoff_factor",
 ]
 
 
@@ -111,3 +137,13 @@ class TestValidation:
     def test_with_overrides_replaces_field(self):
         params = ProtocolParams.paper().with_overrides(schedule_slack=7.5)
         assert params.schedule_slack == 7.5
+
+    @pytest.mark.parametrize("bad", [0, 1, 2, -3, 3.0, "3"])
+    def test_construction_rejects_bad_wave_spacing(self, bad):
+        # Below 3 adjacent pipelined waves interfere; non-integers are
+        # rejected outright since the value is a round count.
+        with pytest.raises(ConfigurationError, match="wave_spacing"):
+            ProtocolParams(wave_spacing=bad)
+
+    def test_wave_spacing_accepts_wider_periods(self):
+        assert ProtocolParams(wave_spacing=5).wave_spacing == 5

@@ -1,0 +1,39 @@
+"""Regression pins: exact rounds-to-delivery for fixed (topology, seed) pairs.
+
+These values are ground truth for the engine's channel semantics plus both
+protocols' coin-consumption order.  Any engine or protocol refactor that
+silently changes channel resolution, feedback ordering, or per-node stream
+usage will move at least one of these numbers — if a change here is
+intentional, update the pins and say why in the commit.
+"""
+
+import pytest
+
+from repro.params import ProtocolParams
+from repro.sim.decay import run_decay
+from repro.sim.ghk_broadcast import run_ghk_broadcast
+from repro.sim.topology import dumbbell, gnp, grid2d, line, ring
+
+FAST = ProtocolParams.fast()
+
+#: (network factory, seed, pinned Decay rounds, pinned GHK rounds)
+PINS = [
+    (lambda: line(33), 7, 187, 32),
+    (lambda: ring(24), 1, 57, 18),
+    (lambda: grid2d(6, 6), 3, 57, 19),
+    (lambda: gnp(40, 0.12, seed=5), 5, 39, 11),
+    (lambda: dumbbell(20, 3), 9, 31, 6),
+]
+IDS = ["line-33", "ring-24", "grid-6x6", "gnp-40", "dumbbell-20+3+20"]
+
+
+@pytest.mark.parametrize("make_net,seed,decay_rounds,ghk_rounds", PINS, ids=IDS)
+def test_decay_rounds_to_delivery_is_pinned(make_net, seed, decay_rounds, ghk_rounds):
+    result = run_decay(make_net(), FAST, seed=seed)
+    assert result.rounds_to_delivery == decay_rounds
+
+
+@pytest.mark.parametrize("make_net,seed,decay_rounds,ghk_rounds", PINS, ids=IDS)
+def test_ghk_rounds_to_delivery_is_pinned(make_net, seed, decay_rounds, ghk_rounds):
+    result = run_ghk_broadcast(make_net(), FAST, seed=seed)
+    assert result.rounds_to_delivery == ghk_rounds
