@@ -72,11 +72,18 @@ class DecodingError(CodingError):
 class BroadcastFailure(ReproError):
     """Raised when a broadcast run finished without delivering the
     message(s) to every node (the "with high probability" event failed or
-    the round budget was too small)."""
+    the round budget was too small).
 
-    def __init__(self, message: str, undelivered: tuple = ()):  # noqa: D107
+    ``sim`` carries the failed run's
+    :class:`~repro.sim.core.stats.SimResult` when the driver has one, so
+    callers (e.g. the demo's ``--trace``) can inspect the rounds that
+    *were* executed.
+    """
+
+    def __init__(self, message: str, undelivered: tuple = (), *, sim=None):  # noqa: D107
         super().__init__(message)
         self.undelivered = tuple(undelivered)
+        self.sim = sim
 
 
 class AnalysisError(ReproError):

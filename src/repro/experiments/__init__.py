@@ -3,19 +3,32 @@
 The modules here drive the protocols in :mod:`repro.sim` across graph
 families and seed batches, aggregate the outcomes, and emit JSON perf
 records (``BENCH_*.json``) that chart the repository's bench trajectory
-over time.  The first harness, :mod:`repro.experiments.broadcast_bench`,
-compares the Decay baseline against the paper's collision-detection
-broadcast.
+over time.  :mod:`repro.experiments.broadcast_bench` compares the Decay
+baseline against the paper's collision-detection broadcast;
+:mod:`repro.experiments.engine_bench` times the object execution path
+against the array-native batch engine over the same sweep.
 """
 
-__all__ = ["DEFAULT_TOPOLOGIES", "sweep_broadcast", "write_bench"]
+__all__ = [
+    "DEFAULT_TOPOLOGIES",
+    "bench_engines",
+    "merge_records",
+    "sweep_broadcast",
+    "write_bench",
+]
+
+_BROADCAST_EXPORTS = {"DEFAULT_TOPOLOGIES", "merge_records", "sweep_broadcast", "write_bench"}
 
 
 def __getattr__(name: str):
-    # Lazy re-export: importing the submodule here eagerly would trigger a
+    # Lazy re-export: importing the submodules here eagerly would trigger a
     # double-import RuntimeWarning under `python -m repro.experiments.*`.
-    if name in __all__:
+    if name in _BROADCAST_EXPORTS:
         from repro.experiments import broadcast_bench
 
         return getattr(broadcast_bench, name)
+    if name == "bench_engines":
+        from repro.experiments import engine_bench
+
+        return engine_bench.bench_engines
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

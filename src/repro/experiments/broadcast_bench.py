@@ -3,10 +3,12 @@
 For every (topology family, protocol) pair the sweep runs a batch of
 seeds — regenerating the random families per seed, so the statistics
 cover graph sampling as well as protocol coins — and aggregates
-rounds-to-delivery, transmissions, and failure counts.  The resulting
-record is the first datapoint of the repository's bench trajectory::
+rounds-to-delivery, transmissions, and failure counts.  The whole seed
+batch executes in one shot on the array-native batch engine
+(:func:`~repro.sim.runners.run_broadcast_batch`), which is what makes
+n=256+ sweeps CI-feasible; ``--n`` accepts several sizes in one call::
 
-    python -m repro.experiments.broadcast_bench --n 64 --seeds 30 \
+    python -m repro.experiments.broadcast_bench --n 64 256 --seeds 30 \
         --out BENCH_broadcast.json
 
 A :class:`~repro.errors.BroadcastFailure` during a run is *counted*, not
@@ -26,10 +28,11 @@ from pathlib import Path
 
 from repro.errors import AnalysisError, BroadcastFailure, TopologyError
 from repro.params import ProtocolParams
-from repro.sim.runners import BROADCAST_PROTOCOL_NAMES, broadcast_runner
+from repro.sim import runners
+from repro.sim.runners import run_broadcast_batch
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
-__all__ = ["DEFAULT_TOPOLOGIES", "sweep_broadcast", "write_bench", "main"]
+__all__ = ["DEFAULT_TOPOLOGIES", "sweep_broadcast", "merge_records", "write_bench", "main"]
 
 #: The full comparison suite from the ISSUE (star is omitted by default:
 #: with a hub source it is a one-round broadcast for every protocol).
@@ -57,7 +60,7 @@ def _summary(values: list[int]) -> dict:
 def sweep_broadcast(
     *,
     topologies: tuple[str, ...] = DEFAULT_TOPOLOGIES,
-    protocols: tuple[str, ...] = BROADCAST_PROTOCOL_NAMES,
+    protocols: tuple[str, ...] | None = None,
     n: int = 64,
     seeds: int = 30,
     preset: str = "fast",
@@ -73,13 +76,15 @@ def sweep_broadcast(
         raise AnalysisError(f"need at least one seed, got seeds={seeds}")
     if preset not in ("paper", "fast"):
         raise AnalysisError(f"unknown preset {preset!r}; choose paper or fast")
+    if protocols is None:
+        protocols = runners.BROADCAST_PROTOCOL_NAMES
     unknown = [t for t in topologies if t not in TOPOLOGY_NAMES]
     if unknown:
         raise AnalysisError(f"unknown topologies {unknown}; choose from {TOPOLOGY_NAMES}")
-    unknown = [p for p in protocols if p not in BROADCAST_PROTOCOL_NAMES]
+    unknown = [p for p in protocols if p not in runners.BROADCAST_PROTOCOL_NAMES]
     if unknown:
         raise AnalysisError(
-            f"unknown protocols {unknown}; choose from {BROADCAST_PROTOCOL_NAMES}"
+            f"unknown protocols {unknown}; choose from {runners.BROADCAST_PROTOCOL_NAMES}"
         )
     params = ProtocolParams.paper() if preset == "paper" else ProtocolParams.fast()
 
@@ -96,15 +101,17 @@ def sweep_broadcast(
         diameters = [net.eccentricity() for net in nets]
         per_protocol: dict[str, dict] = {}
         for protocol in protocols:
-            runner = broadcast_runner(protocol)
             rounds: list[int] = []
             transmissions: list[int] = []
             budgets: list[int] = []
             failures = 0
-            for seed, net in enumerate(nets):
-                try:
-                    result = runner(net, params, seed=seed)
-                except BroadcastFailure:
+            # The whole seed batch runs in one BatchEngine pass; results are
+            # bitwise-identical to per-seed object runs on the same seeds.
+            batch = run_broadcast_batch(
+                protocol, nets, seeds=range(len(nets)), params=params
+            )
+            for result in batch:
+                if isinstance(result, BroadcastFailure):
                     failures += 1
                     continue
                 rounds.append(result.rounds_to_delivery)
@@ -146,6 +153,22 @@ def sweep_broadcast(
     }
 
 
+def merge_records(records: list[dict]) -> dict:
+    """Merge per-size sweep records into one multi-size bench record.
+
+    Headers are taken from the first record; ``n`` becomes the list of
+    sizes (kept scalar for a single-size sweep, the original schema) and
+    the per-(size, family, protocol) entries are concatenated in order.
+    """
+    if not records:
+        raise AnalysisError("merge_records needs at least one sweep record")
+    merged = dict(records[0])
+    sizes = [record["n"] for record in records]
+    merged["n"] = sizes[0] if len(sizes) == 1 else sizes
+    merged["results"] = [entry for record in records for entry in record["results"]]
+    return merged
+
+
 def write_bench(record: dict, path: str | Path) -> Path:
     """Write a bench record as pretty-printed JSON and return the path."""
     path = Path(path)
@@ -158,7 +181,14 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments.broadcast_bench",
         description="Sweep Decay vs GHK across the topology suite.",
     )
-    parser.add_argument("--n", type=int, default=64, help="nodes per network")
+    parser.add_argument(
+        "--n",
+        type=int,
+        nargs="+",
+        default=[64],
+        metavar="N",
+        help="network size(s) to sweep; several sizes merge into one record",
+    )
     parser.add_argument("--seeds", type=int, default=30, help="seeds per (family, protocol)")
     parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
     parser.add_argument(
@@ -172,22 +202,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--protocols",
         nargs="+",
-        default=list(BROADCAST_PROTOCOL_NAMES),
-        choices=BROADCAST_PROTOCOL_NAMES,
+        default=list(runners.BROADCAST_PROTOCOL_NAMES),
+        choices=runners.BROADCAST_PROTOCOL_NAMES,
         metavar="PROTO",
-        help=f"protocols to compare (default: {' '.join(BROADCAST_PROTOCOL_NAMES)})",
+        help=f"protocols to compare (default: {' '.join(runners.BROADCAST_PROTOCOL_NAMES)})",
     )
     parser.add_argument(
         "--out", default="BENCH_broadcast.json", help="output JSON path"
     )
     args = parser.parse_args(argv)
     try:
-        record = sweep_broadcast(
-            topologies=tuple(args.topologies),
-            protocols=tuple(args.protocols),
-            n=args.n,
-            seeds=args.seeds,
-            preset=args.preset,
+        record = merge_records(
+            [
+                sweep_broadcast(
+                    topologies=tuple(args.topologies),
+                    protocols=tuple(args.protocols),
+                    n=n,
+                    seeds=args.seeds,
+                    preset=args.preset,
+                )
+                for n in args.n
+            ]
         )
     except AnalysisError as exc:
         print(f"sweep error: {exc}", file=sys.stderr)
@@ -199,7 +234,7 @@ def main(argv: list[str] | None = None) -> int:
         speedup = entry.get("speedup_vs_decay")
         extra = f"  speedup-vs-decay={speedup}x" if speedup is not None else ""
         print(
-            f"{entry['topology']:>10s} {entry['protocol']:>6s}: "
+            f"{entry['topology']:>10s} {entry['protocol']:>6s} n={entry['n']:<5d}: "
             f"mean rounds={mean} failures={entry['failures']}/{entry['runs']}{extra}"
         )
     print(f"wrote {path}")

@@ -1,0 +1,217 @@
+"""Object-path vs array-path throughput microbenchmark (``BENCH_engine.json``).
+
+For each protocol the harness runs the *same* multi-seed sweep twice —
+once through the classic per-node object engine, once through the
+array-native batch engine — and reports wall-clock rounds/sec for both
+paths plus the speedup.  The two paths execute bitwise-identical rounds on
+identical seeds (see ``tests/test_equivalence.py``), so the ratio isolates
+pure execution-core overhead: ``n`` Python method calls per round versus a
+handful of array operations::
+
+    python -m repro.experiments.engine_bench --n 256 --seeds 30 \
+        --out BENCH_engine.json
+
+``--max-seconds`` turns the run into a smoke test: exit non-zero when the
+*array* path needs longer than the ceiling for its whole sweep (used by CI
+to catch vectorization regressions without gating merges).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.errors import AnalysisError, BroadcastFailure, TopologyError
+from repro.params import ProtocolParams
+from repro.sim import runners
+from repro.sim.runners import broadcast_runner, broadcast_spec, run_broadcast_batch
+from repro.sim.topology import TOPOLOGY_NAMES, from_spec
+
+__all__ = ["bench_engines", "main"]
+
+
+def _path_entry(rounds: int, seconds: float, completed: int, runs: int) -> dict:
+    return {
+        "rounds": rounds,
+        "seconds": round(seconds, 4),
+        "rounds_per_sec": round(rounds / seconds, 1) if seconds > 0 else None,
+        "completed": completed,
+        "runs": runs,
+    }
+
+
+def bench_engines(
+    *,
+    n: int = 256,
+    seeds: int = 30,
+    topology: str = "grid",
+    protocols: tuple[str, ...] | None = None,
+    preset: str = "fast",
+) -> dict:
+    """Time the object and array paths over the same sweep; return the record.
+
+    Both paths run every (protocol, seed) instance to delivery or budget;
+    ``rounds`` counts the rounds actually executed (budget rounds for a
+    failed instance), so ``rounds_per_sec`` is genuine execution
+    throughput, not success-biased.
+    """
+    if n < 1:
+        raise AnalysisError(f"need at least one node, got n={n}")
+    if seeds < 1:
+        raise AnalysisError(f"need at least one seed, got seeds={seeds}")
+    if preset not in ("paper", "fast"):
+        raise AnalysisError(f"unknown preset {preset!r}; choose paper or fast")
+    if topology not in TOPOLOGY_NAMES:
+        raise AnalysisError(
+            f"unknown topology {topology!r}; choose from {TOPOLOGY_NAMES}"
+        )
+    if protocols is None:
+        protocols = runners.BROADCAST_PROTOCOL_NAMES
+    unknown = [p for p in protocols if p not in runners.BROADCAST_PROTOCOL_NAMES]
+    if unknown:
+        raise AnalysisError(
+            f"unknown protocols {unknown}; choose from {runners.BROADCAST_PROTOCOL_NAMES}"
+        )
+    params = ProtocolParams.paper() if preset == "paper" else ProtocolParams.fast()
+    try:
+        nets = [from_spec(topology, n, seed=seed) for seed in range(seeds)]
+    except TopologyError as exc:
+        raise AnalysisError(f"cannot build {topology} with n={n}: {exc}") from exc
+    # Warm the topology caches so neither path pays BFS inside its timing.
+    for net in nets:
+        net.eccentricity()
+
+    results = []
+    for protocol in protocols:
+        spec = broadcast_spec(protocol)
+        budgets = [spec.budget_for(params, net, net.n) for net in nets]
+
+        runner = broadcast_runner(protocol)
+        rounds_object = 0
+        completed_object = 0
+        t0 = time.perf_counter()
+        for seed, (net, budget) in enumerate(zip(nets, budgets)):
+            try:
+                result = runner(net, params, seed=seed)
+            except BroadcastFailure:
+                rounds_object += budget
+                continue
+            rounds_object += result.sim.rounds_run
+            completed_object += 1
+        object_seconds = time.perf_counter() - t0
+
+        rounds_array = 0
+        completed_array = 0
+        t0 = time.perf_counter()
+        batch = run_broadcast_batch(protocol, nets, seeds=range(seeds), params=params)
+        array_seconds = time.perf_counter() - t0
+        sample_rounds: list[int] = []
+        for result, budget in zip(batch, budgets):
+            if isinstance(result, BroadcastFailure):
+                rounds_array += budget
+                continue
+            rounds_array += result.sim.rounds_run
+            completed_array += 1
+            sample_rounds.append(result.rounds_to_delivery)
+
+        entry = {
+            "protocol": protocol,
+            "topology": topology,
+            "n": n,
+            "seeds": seeds,
+            "rounds_to_delivery_mean": (
+                round(statistics.mean(sample_rounds), 2) if sample_rounds else None
+            ),
+            "object": _path_entry(rounds_object, object_seconds, completed_object, seeds),
+            "array": _path_entry(rounds_array, array_seconds, completed_array, seeds),
+        }
+        if rounds_array != rounds_object or completed_array != completed_object:
+            # The equivalence suite makes this unreachable; keep the record
+            # honest if a regression ever slips through.
+            entry["paths_diverged"] = True
+        if object_seconds > 0 and array_seconds > 0 and rounds_object:
+            entry["speedup_rounds_per_sec"] = round(
+                (rounds_array / array_seconds) / (rounds_object / object_seconds), 2
+            )
+        results.append(entry)
+
+    return {
+        "bench": "engine",
+        "paper": "conf_podc_GhaffariHK13",
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "preset": preset,
+        "topology": topology,
+        "n": n,
+        "seeds": seeds,
+        "protocols": list(protocols),
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.engine_bench",
+        description="Time the object vs array execution paths over one sweep.",
+    )
+    parser.add_argument("--n", type=int, default=256, help="nodes per network")
+    parser.add_argument("--seeds", type=int, default=30, help="seeds per protocol")
+    parser.add_argument("--topology", choices=TOPOLOGY_NAMES, default="grid")
+    parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(runners.BROADCAST_PROTOCOL_NAMES),
+        choices=runners.BROADCAST_PROTOCOL_NAMES,
+        metavar="PROTO",
+        help=f"protocols to time (default: {' '.join(runners.BROADCAST_PROTOCOL_NAMES)})",
+    )
+    parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
+    parser.add_argument("--out", default="BENCH_engine.json", help="output JSON path")
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="smoke-test ceiling: fail if the array path's whole sweep "
+        "takes longer than this many seconds",
+    )
+    args = parser.parse_args(argv)
+    try:
+        record = bench_engines(
+            n=args.n,
+            seeds=args.seeds,
+            topology=args.topology,
+            protocols=tuple(args.protocols),
+            preset=args.preset,
+        )
+    except AnalysisError as exc:
+        print(f"bench error: {exc}", file=sys.stderr)
+        return 2
+    from repro.experiments.broadcast_bench import write_bench
+
+    path = write_bench(record, args.out)
+    for entry in record["results"]:
+        speedup = entry.get("speedup_rounds_per_sec")
+        print(
+            f"{entry['protocol']:>6s} on {entry['topology']} n={entry['n']}: "
+            f"object={entry['object']['rounds_per_sec']} r/s "
+            f"array={entry['array']['rounds_per_sec']} r/s "
+            f"speedup={speedup}x"
+        )
+    print(f"wrote {path}")
+    if args.max_seconds is not None:
+        slowest = max(entry["array"]["seconds"] for entry in record["results"])
+        if slowest > args.max_seconds:
+            print(
+                f"SMOKE FAIL: array path took {slowest:.2f}s > "
+                f"ceiling {args.max_seconds:.2f}s",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"smoke OK: array path under {args.max_seconds:.2f}s ceiling")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

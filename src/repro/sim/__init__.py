@@ -5,26 +5,54 @@ Layers, bottom-up:
 * :mod:`repro.sim.rng` — seeded per-node random streams (reproducibility);
 * :mod:`repro.sim.topology` — :class:`RadioNetwork` and graph generators;
 * :mod:`repro.sim.protocol` — the per-node protocol API and registry;
-* :mod:`repro.sim.engine` — the vectorized round loop and channel model;
+* :mod:`repro.sim.core` — the array-native execution core: the batched
+  channel kernel, the :class:`ArrayProtocol` API, the object-protocol
+  adapter, and the single/batch array engines;
+* :mod:`repro.sim.engine` — the per-node object round loop, a shell over
+  the core's kernel and adapter;
 * :mod:`repro.sim.decay` — the collision-blind Decay baseline (BGI 1992);
 * :mod:`repro.sim.beepwave` — the collision-detection beep-wave layer:
   1-bit pulses that advance one hop per round and synchronize the network;
 * :mod:`repro.sim.ghk_broadcast` — the paper's broadcast on top of the
   wave: layered slot schedule + decay backoff, ``O(D + log^2 n)``;
-* :mod:`repro.sim.runners` — name-based dispatch of the ``run_*`` drivers.
+* :mod:`repro.sim.runners` — driver dispatch, the shared driver preamble,
+  and the array-native batch execution API.
 """
 
 from repro.sim.beepwave import (
     WAVE_PULSE,
+    BeepWaveArrayProtocol,
     BeepWaveProtocol,
     BeepWaveResult,
     in_layer_slot,
     is_beep,
     run_beep_wave,
 )
-from repro.sim.decay import DecayProtocol, DecayResult, run_decay
-from repro.sim.engine import Engine, RoundStats, SimResult
-from repro.sim.ghk_broadcast import GHKBroadcastProtocol, GHKResult, run_ghk_broadcast
+from repro.sim.core import (
+    ArrayContext,
+    ArrayEngine,
+    ArrayProtocol,
+    BatchEngine,
+    BatchItem,
+    BatchOutcome,
+    BroadcastArrayProtocol,
+    ChannelRound,
+    CoinDeck,
+    ObjectProtocolAdapter,
+    RoundPlan,
+    array_protocol_class,
+    available_array_protocols,
+    register_array_protocol,
+    resolve_channel,
+)
+from repro.sim.decay import DecayArrayProtocol, DecayProtocol, DecayResult, run_decay
+from repro.sim.engine import Engine, RoundStats, SimResult, run_until_all_informed
+from repro.sim.ghk_broadcast import (
+    GHKArrayProtocol,
+    GHKBroadcastProtocol,
+    GHKResult,
+    run_ghk_broadcast,
+)
 from repro.sim.protocol import (
     Action,
     ActionKind,
@@ -41,7 +69,13 @@ from repro.sim.rng import SeededStreams, node_streams, stream
 from repro.sim.runners import (
     BROADCAST_PROTOCOL_NAMES,
     BROADCAST_RUNNERS,
+    BroadcastSpec,
     broadcast_runner,
+    broadcast_spec,
+    prepare_broadcast_engine,
+    register_broadcast_spec,
+    run_broadcast,
+    run_broadcast_batch,
 )
 from repro.sim.topology import (
     TOPOLOGY_NAMES,
@@ -59,28 +93,46 @@ from repro.sim.topology import (
 __all__ = [
     "Action",
     "ActionKind",
+    "ArrayContext",
+    "ArrayEngine",
+    "ArrayProtocol",
     "BROADCAST_PROTOCOL_NAMES",
     "BROADCAST_RUNNERS",
+    "BatchEngine",
+    "BatchItem",
+    "BatchOutcome",
+    "BeepWaveArrayProtocol",
     "BeepWaveProtocol",
     "BeepWaveResult",
+    "BroadcastArrayProtocol",
     "BroadcastProtocol",
+    "BroadcastSpec",
+    "ChannelRound",
+    "CoinDeck",
+    "DecayArrayProtocol",
     "DecayProtocol",
     "DecayResult",
     "Engine",
     "Feedback",
     "FeedbackKind",
+    "GHKArrayProtocol",
     "GHKBroadcastProtocol",
     "GHKResult",
     "NodeContext",
+    "ObjectProtocolAdapter",
     "Protocol",
     "RadioNetwork",
+    "RoundPlan",
     "RoundStats",
     "SeededStreams",
     "SimResult",
     "TOPOLOGY_NAMES",
     "WAVE_PULSE",
+    "array_protocol_class",
+    "available_array_protocols",
     "available_protocols",
     "broadcast_runner",
+    "broadcast_spec",
     "dumbbell",
     "from_spec",
     "gnp",
@@ -89,12 +141,19 @@ __all__ = [
     "is_beep",
     "line",
     "node_streams",
+    "prepare_broadcast_engine",
     "protocol_class",
+    "register_array_protocol",
+    "register_broadcast_spec",
     "register_protocol",
+    "resolve_channel",
     "ring",
     "run_beep_wave",
+    "run_broadcast",
+    "run_broadcast_batch",
     "run_decay",
     "run_ghk_broadcast",
+    "run_until_all_informed",
     "star",
     "stream",
     "unit_disk",

@@ -36,8 +36,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import BroadcastFailure
 from repro.params import ProtocolParams
+from repro.sim.core.array_protocol import (
+    ArrayContext,
+    ArrayProtocol,
+    RoundPlan,
+    register_array_protocol,
+)
+from repro.sim.core.channel import ChannelRound
 from repro.sim.engine import Engine, SimResult
 from repro.sim.protocol import (
     Action,
@@ -54,6 +63,7 @@ __all__ = [
     "is_beep",
     "in_layer_slot",
     "BeepWaveProtocol",
+    "BeepWaveArrayProtocol",
     "BeepWaveResult",
     "run_beep_wave",
 ]
@@ -123,6 +133,48 @@ class BeepWaveProtocol(Protocol):
 
     def finished(self) -> bool:
         return self._pulse_sent
+
+
+@register_array_protocol("beepwave")
+class BeepWaveArrayProtocol(ArrayProtocol):
+    """Whole-network beep wave: all nodes' distances and pulses as arrays.
+
+    Mirrors :class:`BeepWaveProtocol` exactly (the protocol is coin-free,
+    so equivalence is purely a matter of reproducing the act/feedback
+    branches), with ``wave_distance == -1`` standing in for "not yet
+    reached".
+    """
+
+    def setup(self, ctx: ArrayContext) -> None:
+        super().setup(ctx)
+        self.wave_distance = np.full(ctx.n_nodes, -1, dtype=np.int64)
+        self.wave_distance[ctx.source] = 0
+        self.pulse_sent = np.zeros(ctx.n_nodes, dtype=bool)
+
+    def act(self, round_index: int) -> RoundPlan:
+        listen = self.wave_distance < 0
+        transmit = ~listen & ~self.pulse_sent & (round_index >= self.wave_distance)
+        self.pulse_sent |= transmit
+        return RoundPlan(transmit=transmit, listen=listen)
+
+    def on_feedback(self, round_index: int, channel: ChannelRound) -> None:
+        # The CD beep predicate: anything but silence proves a neighbour
+        # transmitted.  Without collision detection a collision is perceived
+        # as silence, so only clean receipts count.
+        beep = channel.clean | channel.collided if self.ctx.collision_detection else channel.clean
+        newly = beep & (self.wave_distance < 0)
+        self.wave_distance[newly] = round_index + 1
+
+    def done(self) -> bool:
+        return bool(self.pulse_sent.all())
+
+    def wave_distances(self) -> tuple[int, ...]:
+        """Per-node learned distances as plain ints (-1 where unreached)."""
+        return tuple(self.wave_distance.tolist())
+
+    def unsynchronized(self) -> tuple[int, ...]:
+        """Nodes the wave never reached."""
+        return tuple(np.nonzero(self.wave_distance < 0)[0].tolist())
 
 
 @dataclass(frozen=True)

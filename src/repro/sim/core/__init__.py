@@ -1,0 +1,61 @@
+"""The layered array-native execution core.
+
+Layers, bottom-up:
+
+* :mod:`repro.sim.core.stats` — the ground-truth record types
+  (:class:`RoundStats`, :class:`SimResult`) shared by every execution path;
+* :mod:`repro.sim.core.channel` — the pure, batched channel kernel:
+  adjacency matmul → silence/clean/collision outcome arrays + sender ids;
+* :mod:`repro.sim.core.array_protocol` — the :class:`ArrayProtocol` API
+  (one instance holds all nodes' state as arrays) with per-node seeded
+  randomness preserved via :class:`CoinDeck`, plus the array registry;
+* :mod:`repro.sim.core.adapter` — :class:`ObjectProtocolAdapter`, which
+  wraps per-node :class:`~repro.sim.protocol.Protocol` objects so the
+  existing object API runs unchanged on the core;
+* :mod:`repro.sim.core.batch` — :class:`ArrayEngine` (one instance) and
+  :class:`BatchEngine` (many independent seed × topology × protocol
+  instances, fused per-topology into batched kernel calls, with early
+  exit per instance).
+"""
+
+from repro.sim.core.adapter import ObjectProtocolAdapter
+from repro.sim.core.array_protocol import (
+    ArrayContext,
+    ArrayProtocol,
+    BroadcastArrayProtocol,
+    CoinDeck,
+    RoundPlan,
+    array_protocol_class,
+    available_array_protocols,
+    register_array_protocol,
+)
+from repro.sim.core.batch import ArrayEngine, BatchEngine, BatchItem, BatchOutcome
+from repro.sim.core.channel import (
+    ChannelRound,
+    adjacency_operand,
+    resolve_channel,
+    round_stats,
+)
+from repro.sim.core.stats import RoundStats, SimResult
+
+__all__ = [
+    "ArrayContext",
+    "ArrayEngine",
+    "ArrayProtocol",
+    "BatchEngine",
+    "BatchItem",
+    "BatchOutcome",
+    "BroadcastArrayProtocol",
+    "ChannelRound",
+    "CoinDeck",
+    "ObjectProtocolAdapter",
+    "RoundPlan",
+    "RoundStats",
+    "SimResult",
+    "adjacency_operand",
+    "array_protocol_class",
+    "available_array_protocols",
+    "register_array_protocol",
+    "resolve_channel",
+    "round_stats",
+]

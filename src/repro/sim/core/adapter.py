@@ -1,0 +1,116 @@
+"""Adapter: drive today's per-node ``Protocol`` objects through the core.
+
+:class:`ObjectProtocolAdapter` presents a list of per-node
+:class:`~repro.sim.protocol.Protocol` instances as a single
+:class:`~repro.sim.core.array_protocol.ArrayProtocol`, so the object API
+keeps working unchanged on top of the shared channel kernel: the
+:class:`~repro.sim.engine.Engine` is a thin shell over this adapter, and
+object protocols can even ride in a :class:`~repro.sim.core.batch.BatchEngine`
+next to array-native ones.
+
+The adapter preserves the object path's exact semantics: per-node
+``NodeContext`` wiring (including each node's private random stream),
+action validation with the same error messages, and feedback delivery in
+the same order (clean receivers, then collided, then silent, each in
+ascending node order) with real message objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.core.array_protocol import ArrayContext, ArrayProtocol, RoundPlan
+from repro.sim.core.channel import ChannelRound
+from repro.sim.protocol import (
+    Action,
+    ActionKind,
+    Feedback,
+    FeedbackKind,
+    NodeContext,
+    Protocol,
+)
+
+__all__ = ["ObjectProtocolAdapter"]
+
+
+class ObjectProtocolAdapter(ArrayProtocol):
+    """Wrap one per-node :class:`Protocol` object per node as an ArrayProtocol."""
+
+    def __init__(self, protocols: Sequence[Protocol]):
+        self.protocols = tuple(protocols)
+        self._actions: tuple[Action, ...] = ()
+
+    def setup(self, ctx: ArrayContext) -> None:
+        super().setup(ctx)
+        if len(self.protocols) != ctx.n_nodes:
+            raise SimulationError(
+                f"need exactly one protocol per node: got {len(self.protocols)} "
+                f"protocols for {ctx.n_nodes} nodes"
+            )
+        for node, proto in enumerate(self.protocols):
+            proto.setup(
+                NodeContext(
+                    node=node,
+                    n_nodes=ctx.n_nodes,
+                    n_bound=ctx.n_bound,
+                    is_source=(node == ctx.source),
+                    params=ctx.params,
+                    rng=ctx.streams.nodes[node],
+                    collision_detection=ctx.collision_detection,
+                )
+            )
+
+    def act(self, round_index: int) -> RoundPlan:
+        n = len(self.protocols)
+        transmit = np.zeros(n, dtype=bool)
+        listen = np.zeros(n, dtype=bool)
+        actions: list[Action] = []
+        for node, proto in enumerate(self.protocols):
+            action = proto.act(round_index)
+            if not isinstance(action, Action):
+                raise SimulationError(
+                    f"protocol at node {node} returned {action!r} from act(); "
+                    "expected an Action"
+                )
+            if action.kind is ActionKind.TRANSMIT:
+                if action.message is None:
+                    raise SimulationError(
+                        f"node {node} transmitted a None message in round {round_index}"
+                    )
+                transmit[node] = True
+            elif action.kind is ActionKind.LISTEN:
+                listen[node] = True
+            actions.append(action)
+        self._actions = tuple(actions)
+        return RoundPlan(transmit=transmit, listen=listen)
+
+    def on_feedback(self, round_index: int, channel: ChannelRound) -> None:
+        r = round_index
+        for recv in np.nonzero(channel.clean)[0].tolist():
+            sender = int(channel.senders[recv])
+            self.protocols[recv].on_feedback(
+                r,
+                Feedback(
+                    FeedbackKind.MESSAGE,
+                    round_index=r,
+                    message=self._actions[sender].message,
+                    sender=sender,
+                ),
+            )
+        collision_kind = (
+            FeedbackKind.COLLISION
+            if self.ctx.collision_detection
+            else FeedbackKind.SILENCE
+        )
+        for recv in np.nonzero(channel.collided)[0].tolist():
+            self.protocols[recv].on_feedback(r, Feedback(collision_kind, round_index=r))
+        for recv in np.nonzero(channel.silent)[0].tolist():
+            self.protocols[recv].on_feedback(
+                r, Feedback(FeedbackKind.SILENCE, round_index=r)
+            )
+
+    def done(self) -> bool:
+        return all(p.finished() for p in self.protocols)

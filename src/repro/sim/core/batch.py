@@ -1,0 +1,310 @@
+"""Array-native engines: one instance, or many batched in one process.
+
+:class:`ArrayEngine` drives a single
+:class:`~repro.sim.core.array_protocol.ArrayProtocol` on one network with
+the shared channel kernel — the vectorized counterpart of
+:class:`~repro.sim.engine.Engine`, with the same round semantics, the same
+:class:`~repro.sim.core.stats.RoundStats` traces (when ``trace=True``), and
+the same early-stop contract.
+
+:class:`BatchEngine` steps many *independent* instances — any mix of
+(seed × topology × protocol) — in lock-step within one process.  Instances
+that share a topology are grouped so their channel resolution collapses
+into a single ``(batch, n) @ (n, n)`` matmul per round, and every instance
+exits the batch individually the moment it completes or exhausts its round
+budget, so one slow straggler never costs the finished instances anything.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.params import ProtocolParams
+from repro.sim.core.array_protocol import ArrayContext, ArrayProtocol, RoundPlan
+from repro.sim.core.channel import (
+    ChannelRound,
+    adjacency_operand,
+    resolve_channel,
+    round_stats,
+)
+from repro.sim.core.stats import RoundStats, SimResult
+from repro.sim.rng import SeededStreams
+from repro.sim.topology import RadioNetwork
+
+__all__ = ["ArrayEngine", "BatchEngine", "BatchItem", "BatchOutcome"]
+
+
+class ArrayEngine:
+    """Synchronous array-native simulator for one protocol run on one network."""
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        protocol: ArrayProtocol,
+        *,
+        seed: int = 0,
+        collision_detection: bool = True,
+        params: ProtocolParams | None = None,
+        n_bound: int | None = None,
+        trace: bool = False,
+        kernel_operand: np.ndarray | None = None,
+    ):
+        if n_bound is not None and n_bound < network.n:
+            raise SimulationError(
+                f"n_bound {n_bound} is below the actual network size {network.n}"
+            )
+        self.network = network
+        self.protocol = protocol
+        self.collision_detection = collision_detection
+        self.params = params if params is not None else ProtocolParams.paper()
+        self.n_bound = n_bound if n_bound is not None else network.n
+        self.trace = trace
+        self.streams = SeededStreams(seed, network.n)
+        # A caller that already holds the kernel operand for this topology
+        # (the batch engine sharing one per group) passes it in; otherwise
+        # build our own.
+        self._adj_f = (
+            kernel_operand
+            if kernel_operand is not None
+            else adjacency_operand(network.adjacency_matrix())
+        )
+        self._round = 0
+        self._total_transmissions = 0
+        self._total_deliveries = 0
+        self._total_collisions = 0
+        self._history: list[RoundStats] = []
+        self._plan: RoundPlan | None = None
+        protocol.setup(
+            ArrayContext(
+                n_nodes=network.n,
+                n_bound=self.n_bound,
+                source=network.source,
+                params=self.params,
+                collision_detection=collision_detection,
+                streams=self.streams,
+            )
+        )
+
+    @property
+    def round_index(self) -> int:
+        """Index of the next round to be executed."""
+        return self._round
+
+    @property
+    def adjacency_operand(self) -> np.ndarray:
+        """The kernel operand (shared across a batch group's engines)."""
+        return self._adj_f
+
+    # ------------------------------------------------------------------ #
+    # Round execution
+    # ------------------------------------------------------------------ #
+    def begin_round(self) -> RoundPlan:
+        """Collect and validate the protocol's action masks for this round."""
+        plan = self.protocol.act(self._round)
+        if not isinstance(plan, RoundPlan):
+            raise SimulationError(
+                f"array protocol returned {plan!r} from act(); expected a RoundPlan"
+            )
+        if plan.transmit.shape != (self.network.n,) or plan.listen.shape != (
+            self.network.n,
+        ):
+            raise SimulationError(
+                f"round plan masks must have shape ({self.network.n},), got "
+                f"transmit {plan.transmit.shape} and listen {plan.listen.shape}"
+            )
+        if plan.transmit.dot(plan.listen):
+            raise SimulationError(
+                f"round plan marks nodes as both transmitting and listening in "
+                f"round {self._round} (radios are half-duplex)"
+            )
+        self._plan = plan
+        return plan
+
+    def complete_round(self, channel: ChannelRound) -> RoundStats | None:
+        """Apply one resolved round: feedback, counters, optional trace."""
+        plan = self._plan
+        if plan is None:
+            raise SimulationError("complete_round() called without begin_round()")
+        r = self._round
+        self.protocol.on_feedback(r, channel)
+        self._round += 1
+        self._plan = None
+        self._total_transmissions += int(np.count_nonzero(plan.transmit))
+        self._total_deliveries += int(np.count_nonzero(channel.clean))
+        self._total_collisions += int(np.count_nonzero(channel.collided))
+        if self.trace:
+            stats = round_stats(r, plan.transmit, channel)
+            self._history.append(stats)
+            return stats
+        return None
+
+    def step(self) -> RoundStats | None:
+        """Execute one round; returns its record only when tracing."""
+        plan = self.begin_round()
+        channel = resolve_channel(self._adj_f, plan.transmit, plan.listen)
+        return self.complete_round(channel)
+
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stop_when: Callable[["ArrayEngine"], bool] | None = None,
+    ) -> SimResult:
+        """Run up to ``max_rounds`` rounds, stopping early if ``stop_when(engine)``.
+
+        Same contract as :meth:`repro.sim.engine.Engine.run`: the predicate
+        is evaluated before the first round and after every round.
+        """
+        if max_rounds < 0:
+            raise SimulationError(f"max_rounds must be non-negative, got {max_rounds}")
+        start_round = self._round
+        start_transmissions = self._total_transmissions
+        start_deliveries = self._total_deliveries
+        start_collisions = self._total_collisions
+        start_history = len(self._history)
+        stopped_early = False
+        if stop_when is not None and stop_when(self):
+            stopped_early = True
+        else:
+            for _ in range(max_rounds):
+                self.step()
+                if stop_when is not None and stop_when(self):
+                    stopped_early = True
+                    break
+        return SimResult(
+            rounds_run=self._round - start_round,
+            stopped_early=stopped_early,
+            total_transmissions=self._total_transmissions - start_transmissions,
+            total_deliveries=self._total_deliveries - start_deliveries,
+            total_collisions=self._total_collisions - start_collisions,
+            history=tuple(self._history[start_history:]),
+        )
+
+    def snapshot(self, *, stopped_early: bool = False) -> SimResult:
+        """A :class:`SimResult` covering every round executed so far."""
+        return SimResult(
+            rounds_run=self._round,
+            stopped_early=stopped_early,
+            total_transmissions=self._total_transmissions,
+            total_deliveries=self._total_deliveries,
+            total_collisions=self._total_collisions,
+            history=tuple(self._history),
+        )
+
+
+@dataclass
+class BatchItem:
+    """One independent simulation instance queued into a :class:`BatchEngine`."""
+
+    network: RadioNetwork
+    protocol: ArrayProtocol
+    budget: int
+    seed: int = 0
+    collision_detection: bool = True
+    params: ProtocolParams | None = None
+    n_bound: int | None = None
+    #: opaque caller bookkeeping, carried through to the outcome.
+    tag: Any = None
+
+
+@dataclass
+class BatchOutcome:
+    """Terminal state of one batch item."""
+
+    item: BatchItem
+    sim: SimResult
+    #: whether the protocol reported ``done()`` within the budget.
+    completed: bool
+
+
+class BatchEngine:
+    """Step many independent array-protocol instances in one process.
+
+    Construction builds one :class:`ArrayEngine` per item; :meth:`run`
+    advances every live instance one round per iteration, fusing the
+    channel resolution of same-topology instances into a single batched
+    kernel call, and retires each instance the moment its protocol reports
+    ``done()`` (completed) or its round budget expires (failed).
+    """
+
+    def __init__(self, items: Sequence[BatchItem], *, trace: bool = False):
+        self.items = list(items)
+        for item in self.items:
+            if item.budget < 0:
+                raise SimulationError(
+                    f"budget must be non-negative, got {item.budget}"
+                )
+        # Group same-topology instances so each group's channel resolution
+        # is one batched matmul; one kernel operand is built per *distinct*
+        # topology and shared by every engine in its group.
+        self._groups: dict[bytes, list[int]] = {}
+        operands: dict[bytes, np.ndarray] = {}
+        keys: list[bytes] = []
+        for i, item in enumerate(self.items):
+            key = item.network.adjacency_matrix().tobytes()
+            keys.append(key)
+            self._groups.setdefault(key, []).append(i)
+            if key not in operands:
+                operands[key] = adjacency_operand(item.network.adjacency_matrix())
+        self.engines = [
+            ArrayEngine(
+                item.network,
+                item.protocol,
+                seed=item.seed,
+                collision_detection=item.collision_detection,
+                params=item.params,
+                n_bound=item.n_bound,
+                trace=trace,
+                kernel_operand=operands[key],
+            )
+            for item, key in zip(self.items, keys)
+        ]
+
+    def run(self) -> list[BatchOutcome]:
+        """Run every item to completion or budget; outcomes in item order."""
+        outcomes: list[BatchOutcome | None] = [None] * len(self.items)
+        live: set[int] = set()
+
+        def retire(i: int, *, completed: bool) -> None:
+            outcomes[i] = BatchOutcome(
+                item=self.items[i],
+                sim=self.engines[i].snapshot(stopped_early=completed),
+                completed=completed,
+            )
+            live.discard(i)
+
+        for i, item in enumerate(self.items):
+            if item.protocol.done():
+                retire(i, completed=True)  # vacuous goal: zero rounds, like run()
+            elif item.budget == 0:
+                retire(i, completed=False)
+            else:
+                live.add(i)
+
+        while live:
+            for indices in self._groups.values():
+                active = [i for i in indices if i in live]
+                if not active:
+                    continue
+                if len(active) == 1:
+                    self.engines[active[0]].step()
+                    continue
+                plans = [self.engines[i].begin_round() for i in active]
+                transmit = np.stack([p.transmit for p in plans])
+                listen = np.stack([p.listen for p in plans])
+                channel = resolve_channel(
+                    self.engines[active[0]].adjacency_operand, transmit, listen
+                )
+                for row, i in enumerate(active):
+                    self.engines[i].complete_round(channel.row(row))
+            for i in list(live):
+                if self.items[i].protocol.done():
+                    retire(i, completed=True)
+                elif self.engines[i].round_index >= self.items[i].budget:
+                    retire(i, completed=False)
+        return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,112 @@
+"""The pure radio-channel kernel, shared by every execution path.
+
+One round of the single-hop radio channel is three array operations:
+
+* ``counts = transmit @ A`` — for every node, how many of its neighbours
+  transmitted this round (``A`` is the symmetric 0/1 adjacency matrix);
+* outcome masks — a listener with count 0 hears silence, with count 1
+  receives the unique neighbour's transmission, with count >= 2 suffers a
+  collision;
+* ``senders = (transmit * ids) @ A`` — for a listener with count 1 the
+  id-weighted count *is* the id of its unique transmitting neighbour.
+
+The kernel is batched: ``transmit``/``listen`` may be ``(n,)`` for one
+instance or ``(batch, n)`` for many independent instances on the same
+topology, in which case every output carries the same leading batch axis
+and the whole round costs one BLAS matmul.
+
+The kernel reports **ground truth** only.  Whether a collided listener
+*perceives* the collision (collision detection) or silence
+(collision-as-silence) is a property of the receivers' radios, so that
+mapping belongs to the protocol/adapter layer, not the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.core.stats import RoundStats
+
+__all__ = ["ChannelRound", "adjacency_operand", "resolve_channel", "round_stats"]
+
+
+def adjacency_operand(adjacency: np.ndarray) -> np.ndarray:
+    """Convert a 0/1 adjacency matrix into the kernel's matmul operand.
+
+    ``float64`` so the matmuls dispatch to BLAS; every count is a sum of
+    0/1 terms and therefore exact.
+    """
+    adj = np.asarray(adjacency)
+    if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+        raise SimulationError(f"adjacency must be square, got shape {adj.shape}")
+    return np.ascontiguousarray(adj, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class ChannelRound:
+    """Ground-truth channel resolution of one round (possibly batched)."""
+
+    #: per-node count of transmitting neighbours.
+    counts: np.ndarray
+    #: listeners that received exactly one neighbour's transmission.
+    clean: np.ndarray
+    #: listeners with >= 2 transmitting neighbours (ground-truth collision).
+    collided: np.ndarray
+    #: listeners with no transmitting neighbour.
+    silent: np.ndarray
+    #: for clean listeners, the id of the unique transmitting neighbour;
+    #: 0 (meaningless) everywhere else — always mask with ``clean``.
+    senders: np.ndarray
+
+    def row(self, i: int) -> "ChannelRound":
+        """The ``i``-th instance of a batched resolution."""
+        return ChannelRound(
+            counts=self.counts[i],
+            clean=self.clean[i],
+            collided=self.collided[i],
+            silent=self.silent[i],
+            senders=self.senders[i],
+        )
+
+
+def resolve_channel(
+    adj_f: np.ndarray, transmit: np.ndarray, listen: np.ndarray
+) -> ChannelRound:
+    """Resolve one round on adjacency ``adj_f`` (from :func:`adjacency_operand`).
+
+    ``transmit`` and ``listen`` are boolean masks of shape ``(n,)`` or
+    ``(batch, n)``; transmitters hear nothing (half-duplex), so the masks
+    must be disjoint.
+    """
+    n = adj_f.shape[0]
+    tx = transmit.astype(np.float64)
+    counts = (tx @ adj_f).astype(np.int64)
+    clean = listen & (counts == 1)
+    collided = listen & (counts >= 2)
+    silent = listen & (counts == 0)
+    if clean.any():
+        ids = np.arange(n, dtype=np.float64)
+        weighted = ((tx * ids) @ adj_f).astype(np.int64)
+        senders = np.where(clean, weighted, 0)
+    else:
+        senders = np.zeros(counts.shape, dtype=np.int64)
+    return ChannelRound(
+        counts=counts, clean=clean, collided=collided, silent=silent, senders=senders
+    )
+
+
+def round_stats(
+    round_index: int, transmit: np.ndarray, channel: ChannelRound
+) -> RoundStats:
+    """Materialize the omniscient :class:`RoundStats` of one (unbatched) round."""
+    receivers = np.nonzero(channel.clean)[0]
+    senders = channel.senders[receivers]
+    return RoundStats(
+        round_index=round_index,
+        transmitters=tuple(np.nonzero(transmit)[0].tolist()),
+        deliveries=tuple(zip(receivers.tolist(), senders.tolist())),
+        collisions=tuple(np.nonzero(channel.collided)[0].tolist()),
+    )

@@ -1,0 +1,41 @@
+"""Omniscient per-round and per-run statistics records.
+
+These are the ground-truth observables of a simulation — what actually
+happened on the channel, independent of what any node could perceive.
+Both execution paths (the per-node object :class:`~repro.sim.engine.Engine`
+and the array-native :class:`~repro.sim.core.batch.ArrayEngine`) emit the
+same record types, which is what makes the object-vs-array equivalence
+suite a plain ``==`` over traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundStats", "SimResult"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Omniscient record of one round (ground truth, not node knowledge)."""
+
+    round_index: int
+    transmitters: tuple[int, ...]
+    #: (receiver, sender) pairs that cleanly received this round.
+    deliveries: tuple[tuple[int, int], ...]
+    #: listening nodes with >= 2 transmitting neighbours, regardless of
+    #: whether the run models collision detection.
+    collisions: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one engine run (either execution path)."""
+
+    rounds_run: int
+    stopped_early: bool
+    total_transmissions: int
+    total_deliveries: int
+    total_collisions: int
+    #: per-round records; empty unless the engine was built with ``trace=True``.
+    history: tuple[RoundStats, ...] = field(default=())

@@ -14,6 +14,12 @@ collision-detection algorithms improve upon.
 Nodes that become informed mid-phase stay silent until the next phase
 boundary, matching the analysis.  The protocol never uses collision
 detection, so it behaves identically with and without it.
+
+The protocol exists in both execution forms: :class:`DecayProtocol` is the
+per-node object state machine, :class:`DecayArrayProtocol` holds every
+node's state as arrays and is driven by the array engines.  Both consume
+each node's private coin stream in the same order, so traces are bitwise
+identical on shared seeds.
 """
 
 from __future__ import annotations
@@ -21,9 +27,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import ConfigurationError
+import numpy as np
+
 from repro.params import ProtocolParams
-from repro.sim.engine import Engine, SimResult, run_until_all_informed
+from repro.sim.core.array_protocol import (
+    ArrayContext,
+    BroadcastArrayProtocol,
+    CoinDeck,
+    RoundPlan,
+    register_array_protocol,
+)
+from repro.sim.core.channel import ChannelRound
+from repro.sim.core.stats import SimResult
+from repro.sim.engine import run_until_all_informed
 from repro.sim.protocol import (
     Action,
     BroadcastProtocol,
@@ -32,9 +48,15 @@ from repro.sim.protocol import (
     NodeContext,
     register_protocol,
 )
+from repro.sim.runners import (
+    BroadcastRun,
+    BroadcastSpec,
+    prepare_broadcast_engine,
+    register_broadcast_spec,
+)
 from repro.sim.topology import RadioNetwork
 
-__all__ = ["DecayProtocol", "DecayResult", "run_decay"]
+__all__ = ["DecayProtocol", "DecayArrayProtocol", "DecayResult", "run_decay"]
 
 
 @register_protocol("decay")
@@ -70,6 +92,42 @@ class DecayProtocol(BroadcastProtocol):
 
     def finished(self) -> bool:
         return self.informed
+
+
+@register_array_protocol("decay")
+class DecayArrayProtocol(BroadcastArrayProtocol):
+    """Whole-network Decay: all nodes' state as arrays, one act() per round.
+
+    Mirrors :class:`DecayProtocol` exactly — same phase boundaries, same
+    transmit set, and one coin per transmitting node per round drawn from
+    that node's private stream — so the two forms produce identical traces
+    on identical seeds.
+    """
+
+    def setup(self, ctx: ArrayContext) -> None:
+        super().setup(ctx)
+        self.phase_length = ctx.params.decay_phase_length(ctx.n_bound)
+        self._init_broadcast_state(ctx)
+        self._active = np.zeros(ctx.n_nodes, dtype=bool)
+        self._coins = CoinDeck(ctx.streams)
+
+    def act(self, round_index: int) -> RoundPlan:
+        if round_index % self.phase_length == 0:
+            np.copyto(self._active, self.informed)
+        transmit = self.informed & self._active
+        listen = ~self.informed
+        transmitters = np.nonzero(transmit)[0]
+        if transmitters.size:
+            self._active[transmitters] = self._coins.draw(transmitters) < 0.5
+        return RoundPlan(transmit=transmit, listen=listen)
+
+    def on_feedback(self, round_index: int, channel: ChannelRound) -> None:
+        # Every Decay transmission carries the payload, so any clean receipt
+        # informs the listener.
+        newly = channel.clean & ~self.informed
+        if newly.any():
+            self.informed |= newly
+            self.informed_round[newly] = round_index
 
 
 @dataclass(frozen=True)
@@ -111,30 +169,55 @@ def run_decay(
     eccentricity) expires, in which case :class:`BroadcastFailure` is raised
     carrying the undelivered node set.
     """
-    if message is None:
-        raise ConfigurationError("run_decay needs a non-None message to broadcast")
-    params = params if params is not None else ProtocolParams.paper()
-    bound = n_bound if n_bound is not None else network.n
-    if budget is None:
-        budget = params.decay_broadcast_rounds(network.eccentricity(), bound)
-    protocols = [DecayProtocol(message=message) for _ in range(network.n)]
-    engine = Engine(
+    prepared = prepare_broadcast_engine(
+        DECAY_SPEC,
         network,
-        protocols,
+        params,
         seed=seed,
+        message=message,
         collision_detection=collision_detection,
-        params=params,
-        n_bound=bound,
+        n_bound=n_bound,
+        budget=budget,
         trace=trace,
     )
-    sim = run_until_all_informed(engine, budget, label="Decay", seed=seed)
+    sim = run_until_all_informed(prepared.engine, prepared.budget, label="Decay", seed=seed)
     return DecayResult(
         network=network.name,
         n=network.n,
         seed=seed,
-        budget=budget,
+        budget=prepared.budget,
         rounds_to_delivery=sim.rounds_run,
-        informed_rounds=tuple(p.informed_round for p in protocols),
-        phase_length=params.decay_phase_length(bound),
+        informed_rounds=tuple(p.informed_round for p in prepared.protocols),
+        phase_length=prepared.params.decay_phase_length(prepared.n_bound),
         sim=sim,
     )
+
+
+def _decay_array_result(run: BroadcastRun) -> DecayResult:
+    return DecayResult(
+        network=run.network.name,
+        n=run.network.n,
+        seed=run.seed,
+        budget=run.budget,
+        rounds_to_delivery=run.sim.rounds_run,
+        informed_rounds=run.protocol.informed_rounds(),
+        phase_length=run.params.decay_phase_length(run.n_bound),
+        sim=run.sim,
+    )
+
+
+DECAY_SPEC = register_broadcast_spec(
+    BroadcastSpec(
+        name="decay",
+        label="Decay",
+        runner=run_decay,
+        protocol_factory=DecayProtocol,
+        array_factory=DecayArrayProtocol,
+        budget_for=lambda params, net, bound: params.decay_broadcast_rounds(
+            net.eccentricity(), bound
+        ),
+        default_collision_detection=False,
+        requires_collision_detection=False,
+        build_result=_decay_array_result,
+    )
+)

@@ -10,18 +10,27 @@ command doubles as a shell-scriptable smoke test.  ``--protocol decay``
 (the default) runs the collision-blind baseline; ``--protocol ghk`` runs
 the paper's collision-detection broadcast, which always models collision
 detection regardless of the flag.
+
+Runs go through the array-native batch engine by default;
+``--engine object`` drives the classic per-node protocol objects instead
+(both paths produce identical results on the same seed).  ``--json``
+emits one machine-readable JSON object on stdout instead of prose, and
+``--trace`` logs every round's ground truth (transmitters, deliveries,
+collisions) so a run can be inspected without writing code.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.errors import BroadcastFailure, TopologyError
 from repro.params import ProtocolParams
+from repro.sim import runners
 from repro.sim.decay import DecayResult
 from repro.sim.ghk_broadcast import GHKResult
-from repro.sim.runners import BROADCAST_PROTOCOL_NAMES, broadcast_runner
+from repro.sim.runners import run_broadcast
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
 
@@ -41,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--n", type=int, default=64, help="number of nodes")
     parser.add_argument(
         "--protocol",
-        choices=BROADCAST_PROTOCOL_NAMES,
+        choices=runners.BROADCAST_PROTOCOL_NAMES,
         default="decay",
         help="broadcast protocol to run (default: decay)",
     )
@@ -59,7 +68,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="model collision detection (Decay ignores it; ghk always has it)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("array", "object"),
+        default="array",
+        help="execution path: array-native batch engine (default) or "
+        "per-node protocol objects; results are identical",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of prose",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="log every round's ground truth (transmitters/deliveries/collisions)",
+    )
     return parser
+
+
+def _print_trace(history) -> None:
+    for stats in history:
+        print(
+            f"round {stats.round_index:>4d}: "
+            f"tx={list(stats.transmitters)} "
+            f"deliveries={[list(p) for p in stats.deliveries]} "
+            f"collisions={list(stats.collisions)}"
+        )
+
+
+def _trace_rows(history) -> list[dict]:
+    return [
+        {
+            "round": stats.round_index,
+            "transmitters": list(stats.transmitters),
+            "deliveries": [list(pair) for pair in stats.deliveries],
+            "collisions": list(stats.collisions),
+        }
+        for stats in history
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -70,21 +118,76 @@ def main(argv: list[str] | None = None) -> int:
     except TopologyError as exc:
         print(f"topology error: {exc}", file=sys.stderr)
         return 2
-    print(
-        f"{net.name}: n={net.n} edges={net.num_edges} "
-        f"source-ecc={net.eccentricity()} diameter={net.diameter()}"
-    )
-    runner = broadcast_runner(args.protocol)
-    kwargs = {}
-    if args.protocol == "decay":
-        # GHK always models collision detection; for Decay it is a choice
-        # (which the protocol then ignores anyway).
-        kwargs["collision_detection"] = args.collision_detection
+    if not args.json:
+        print(
+            f"{net.name}: n={net.n} edges={net.num_edges} "
+            f"source-ecc={net.eccentricity()} diameter={net.diameter()}"
+        )
+    # GHK always models collision detection; for Decay it is a choice
+    # (which the protocol then ignores anyway).
+    collision_detection = True if args.protocol == "ghk" else args.collision_detection
+    payload = {
+        "protocol": args.protocol,
+        "engine": args.engine,
+        "topology": net.name,
+        "n": net.n,
+        "edges": net.num_edges,
+        "source_eccentricity": net.eccentricity(),
+        "diameter": net.diameter(),
+        "seed": args.seed,
+        "preset": args.preset,
+        "collision_detection": collision_detection,
+    }
     try:
-        result = runner(net, params, seed=args.seed, **kwargs)
+        result = run_broadcast(
+            args.protocol,
+            net,
+            params,
+            seed=args.seed,
+            engine=args.engine,
+            collision_detection=collision_detection,
+            trace=args.trace,
+        )
     except BroadcastFailure as exc:
-        print(f"FAILED: {exc} (undelivered: {sorted(exc.undelivered)})", file=sys.stderr)
+        # The failure carries the executed rounds, so --trace still shows
+        # what happened — the case where a trace is most useful.
+        history = exc.sim.history if exc.sim is not None else ()
+        if args.json:
+            payload.update(status="failed", error=str(exc), undelivered=sorted(exc.undelivered))
+            if args.trace:
+                payload["trace"] = _trace_rows(history)
+            print(json.dumps(payload, indent=2))
+        else:
+            if args.trace:
+                _print_trace(history)
+            print(f"FAILED: {exc} (undelivered: {sorted(exc.undelivered)})", file=sys.stderr)
         return 1
+    if args.trace and not args.json:
+        _print_trace(result.sim.history)
+    if args.json:
+        payload.update(
+            status="delivered",
+            budget=result.budget,
+            rounds_to_delivery=result.rounds_to_delivery,
+            informed_rounds=list(result.informed_rounds),
+            transmissions=result.sim.total_transmissions,
+            deliveries=result.sim.total_deliveries,
+            collisions=result.sim.total_collisions,
+        )
+        if isinstance(result, DecayResult):
+            payload.update(
+                phase_length=result.phase_length,
+                phases_to_delivery=result.phases_to_delivery,
+            )
+        elif isinstance(result, GHKResult):
+            payload.update(
+                wave_depth=max(result.wave_distances),
+                wave_spacing=result.wave_spacing,
+            )
+        if args.trace:
+            payload["trace"] = _trace_rows(result.sim.history)
+        print(json.dumps(payload, indent=2))
+        return 0
     print(
         f"{args.protocol}: delivered to all {result.n} nodes in "
         f"{result.rounds_to_delivery} rounds within budget {result.budget}"

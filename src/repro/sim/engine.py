@@ -1,11 +1,14 @@
-"""Round-synchronous radio-network simulation engine.
+"""Round-synchronous radio-network simulation engine (object path).
 
 The engine drives one :class:`~repro.sim.protocol.Protocol` instance per
-node through lock-step rounds and resolves the single-hop radio channel
-with vectorized numpy kernels:
+node through lock-step rounds.  Since the introduction of the execution
+core it is a thin shell: the per-node objects are wrapped in an
+:class:`~repro.sim.core.adapter.ObjectProtocolAdapter` and driven by the
+same :class:`~repro.sim.core.batch.ArrayEngine` round loop and channel
+kernel the array-native path uses:
 
 * collect every node's :class:`~repro.sim.protocol.Action`;
-* ``counts = A @ transmit_mask`` gives, for every node, how many of its
+* ``counts = transmit @ A`` gives, for every node, how many of its
   neighbours transmitted this round;
 * a listener with count 0 hears silence, with count 1 receives the unique
   neighbour's message, with count >= 2 suffers a collision — reported as
@@ -16,60 +19,37 @@ with vectorized numpy kernels:
 Per-round ground-truth statistics (transmitter set, deliveries, collisions)
 are always collected in aggregate and optionally per round (``trace=True``)
 so tests and analyses can observe collision events the nodes themselves may
-not be able to see.
+not be able to see.  Because both paths share one round loop, the object
+path and pure-array protocols produce bitwise-identical records on the
+same seeds; this object path remains the reference and the home of
+arbitrary per-node protocol objects.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.errors import BroadcastFailure, SimulationError
 from repro.params import ProtocolParams
-from repro.sim.protocol import (
-    Action,
-    ActionKind,
-    Feedback,
-    FeedbackKind,
-    NodeContext,
-    Protocol,
-)
-from repro.sim.rng import SeededStreams
+from repro.sim.core.adapter import ObjectProtocolAdapter
+from repro.sim.core.batch import ArrayEngine
+from repro.sim.core.channel import resolve_channel, round_stats
+from repro.sim.core.stats import RoundStats, SimResult
+from repro.sim.protocol import Protocol
 from repro.sim.topology import RadioNetwork
 
 __all__ = ["Engine", "RoundStats", "SimResult", "run_until_all_informed"]
 
 
-@dataclass(frozen=True)
-class RoundStats:
-    """Omniscient record of one round (ground truth, not node knowledge)."""
-
-    round_index: int
-    transmitters: tuple[int, ...]
-    #: (receiver, sender) pairs that cleanly received this round.
-    deliveries: tuple[tuple[int, int], ...]
-    #: listening nodes with >= 2 transmitting neighbours, regardless of
-    #: whether the run models collision detection.
-    collisions: tuple[int, ...]
-
-
-@dataclass(frozen=True)
-class SimResult:
-    """Outcome of :meth:`Engine.run`."""
-
-    rounds_run: int
-    stopped_early: bool
-    total_transmissions: int
-    total_deliveries: int
-    total_collisions: int
-    #: per-round records; empty unless the engine was built with ``trace=True``.
-    history: tuple[RoundStats, ...] = field(default=())
-
-
 class Engine:
-    """Synchronous simulator for one protocol run on one network."""
+    """Synchronous simulator for one object-protocol run on one network.
+
+    All round-loop semantics (early stop, counters, trace history) live in
+    the wrapped :class:`ArrayEngine`; this class adds the object-specific
+    contract: per-node protocol validation, an always-materialized
+    :class:`RoundStats` from :meth:`step`, and the classic attribute
+    surface (``protocols``, ``streams``, ...).
+    """
 
     def __init__(
         self,
@@ -89,114 +69,59 @@ class Engine:
             )
         if len(set(map(id, protocols))) != len(protocols):
             raise SimulationError("the same Protocol instance was given for two nodes")
-        if n_bound is not None and n_bound < network.n:
-            raise SimulationError(
-                f"n_bound {n_bound} is below the actual network size {network.n}"
-            )
-        self.network = network
         self.protocols = tuple(protocols)
-        self.collision_detection = collision_detection
-        self.params = params if params is not None else ProtocolParams.paper()
-        self.n_bound = n_bound if n_bound is not None else network.n
-        self.trace = trace
-        self.streams = SeededStreams(seed, network.n)
-        self._adj = network.adjacency_matrix().astype(np.int32)
-        self._round = 0
-        self._total_transmissions = 0
-        self._total_deliveries = 0
-        self._total_collisions = 0
-        self._history: list[RoundStats] = []
-        for node, proto in enumerate(self.protocols):
-            proto.setup(
-                NodeContext(
-                    node=node,
-                    n_nodes=network.n,
-                    n_bound=self.n_bound,
-                    is_source=(node == network.source),
-                    params=self.params,
-                    rng=self.streams.nodes[node],
-                    collision_detection=collision_detection,
-                )
-            )
+        self._core = ArrayEngine(
+            network,
+            ObjectProtocolAdapter(self.protocols),
+            seed=seed,
+            collision_detection=collision_detection,
+            params=params,
+            n_bound=n_bound,
+            trace=trace,
+        )
+
+    # Classic attribute surface, delegated to the core.
+    @property
+    def network(self) -> RadioNetwork:
+        return self._core.network
+
+    @property
+    def collision_detection(self) -> bool:
+        return self._core.collision_detection
+
+    @property
+    def params(self) -> ProtocolParams:
+        return self._core.params
+
+    @property
+    def n_bound(self) -> int:
+        return self._core.n_bound
+
+    @property
+    def trace(self) -> bool:
+        return self._core.trace
+
+    @property
+    def streams(self):
+        return self._core.streams
 
     @property
     def round_index(self) -> int:
         """Index of the next round to be executed."""
-        return self._round
+        return self._core.round_index
 
     # ------------------------------------------------------------------ #
     # Round execution
     # ------------------------------------------------------------------ #
     def step(self) -> RoundStats:
         """Execute one round and return its omniscient record."""
-        r = self._round
-        n = self.network.n
-        actions: list[Action] = []
-        transmit = np.zeros(n, dtype=bool)
-        listen = np.zeros(n, dtype=bool)
-        for node, proto in enumerate(self.protocols):
-            action = proto.act(r)
-            if not isinstance(action, Action):
-                raise SimulationError(
-                    f"protocol at node {node} returned {action!r} from act(); "
-                    "expected an Action"
-                )
-            if action.kind is ActionKind.TRANSMIT:
-                if action.message is None:
-                    raise SimulationError(
-                        f"node {node} transmitted a None message in round {r}"
-                    )
-                transmit[node] = True
-            elif action.kind is ActionKind.LISTEN:
-                listen[node] = True
-            actions.append(action)
-
-        counts = self._adj @ transmit
-        t_idx = np.nonzero(transmit)[0]
-        clean = np.nonzero(listen & (counts == 1))[0]
-        collided = np.nonzero(listen & (counts >= 2))[0]
-        silent = np.nonzero(listen & (counts == 0))[0]
-
-        deliveries: list[tuple[int, int]] = []
-        if clean.size:
-            # For each clean receiver, its unique transmitting neighbour.
-            senders = t_idx[self._adj[np.ix_(clean, t_idx)].argmax(axis=1)]
-            for recv, send in zip(clean.tolist(), senders.tolist()):
-                deliveries.append((recv, send))
-                self.protocols[recv].on_feedback(
-                    r,
-                    Feedback(
-                        FeedbackKind.MESSAGE,
-                        round_index=r,
-                        message=actions[send].message,
-                        sender=send,
-                    ),
-                )
-        collision_kind = (
-            FeedbackKind.COLLISION if self.collision_detection else FeedbackKind.SILENCE
-        )
-        for recv in collided.tolist():
-            self.protocols[recv].on_feedback(
-                r, Feedback(collision_kind, round_index=r)
-            )
-        for recv in silent.tolist():
-            self.protocols[recv].on_feedback(
-                r, Feedback(FeedbackKind.SILENCE, round_index=r)
-            )
-
-        stats = RoundStats(
-            round_index=r,
-            transmitters=tuple(t_idx.tolist()),
-            deliveries=tuple(deliveries),
-            collisions=tuple(collided.tolist()),
-        )
-        self._round += 1
-        self._total_transmissions += int(t_idx.size)
-        self._total_deliveries += len(deliveries)
-        self._total_collisions += int(collided.size)
-        if self.trace:
-            self._history.append(stats)
-        return stats
+        core = self._core
+        r = core.round_index
+        plan = core.begin_round()
+        channel = resolve_channel(core.adjacency_operand, plan.transmit, plan.listen)
+        # complete_round materializes the record itself when tracing.
+        stats = core.complete_round(channel)
+        return stats if stats is not None else round_stats(r, plan.transmit, channel)
 
     def run(
         self,
@@ -209,32 +134,8 @@ class Engine:
         The predicate is evaluated before the first round and after every
         round, so a vacuously-satisfied goal costs zero rounds.
         """
-        if max_rounds < 0:
-            raise SimulationError(f"max_rounds must be non-negative, got {max_rounds}")
-        # Snapshot so the result covers exactly this run() call, even when
-        # step() or a previous run() already advanced the engine.
-        start_round = self._round
-        start_transmissions = self._total_transmissions
-        start_deliveries = self._total_deliveries
-        start_collisions = self._total_collisions
-        start_history = len(self._history)
-        stopped_early = False
-        if stop_when is not None and stop_when(self):
-            stopped_early = True
-        else:
-            for _ in range(max_rounds):
-                self.step()
-                if stop_when is not None and stop_when(self):
-                    stopped_early = True
-                    break
-        return SimResult(
-            rounds_run=self._round - start_round,
-            stopped_early=stopped_early,
-            total_transmissions=self._total_transmissions - start_transmissions,
-            total_deliveries=self._total_deliveries - start_deliveries,
-            total_collisions=self._total_collisions - start_collisions,
-            history=tuple(self._history[start_history:]),
-        )
+        predicate = None if stop_when is None else (lambda _core: stop_when(self))
+        return self._core.run(max_rounds, stop_when=predicate)
 
 
 def run_until_all_informed(engine: Engine, budget: int, *, label: str, seed: int) -> SimResult:
@@ -246,6 +147,18 @@ def run_until_all_informed(engine: Engine, budget: int, *, label: str, seed: int
     is raised carrying the undelivered node set.
     """
     protocols = engine.protocols
+    lacking = [
+        (node, type(p).__name__)
+        for node, p in enumerate(protocols)
+        if not hasattr(p, "informed")
+    ]
+    if lacking:
+        node, cls = lacking[0]
+        raise SimulationError(
+            f"run_until_all_informed needs broadcast protocols with an 'informed' "
+            f"flag (see BroadcastProtocol), but {len(lacking)} of {len(protocols)} "
+            f"lack one (first: {cls} at node {node})"
+        )
     sim = engine.run(budget, stop_when=lambda eng: all(p.informed for p in protocols))
     undelivered = tuple(i for i, p in enumerate(protocols) if not p.informed)
     if undelivered:
@@ -254,5 +167,6 @@ def run_until_all_informed(engine: Engine, budget: int, *, label: str, seed: int
             f"{len(undelivered)} of {engine.network.n} nodes uninformed "
             f"after {budget} rounds",
             undelivered,
+            sim=sim,
         )
     return sim

@@ -31,9 +31,12 @@ contention, pipelined — the ``O(D + log^2 n)`` regime of the paper,
 against Decay's ``O((D + log n) log n)``.
 
 The protocol is *only correct with collision detection* (the wave stalls
-without it), so :func:`run_ghk_broadcast` and
-:meth:`GHKBroadcastProtocol.setup` reject collision-blind channels with
-:class:`ConfigurationError`.
+without it), so :func:`run_ghk_broadcast` and both protocol forms reject
+collision-blind channels with :class:`ConfigurationError`.
+
+Like Decay, the protocol exists in both execution forms:
+:class:`GHKBroadcastProtocol` per node, :class:`GHKArrayProtocol` for the
+whole network at once, coin-for-coin identical on shared seeds.
 """
 
 from __future__ import annotations
@@ -41,10 +44,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.params import ProtocolParams
 from repro.sim.beepwave import WAVE_PULSE, in_layer_slot, is_beep
-from repro.sim.engine import Engine, SimResult, run_until_all_informed
+from repro.sim.core.array_protocol import (
+    ArrayContext,
+    BroadcastArrayProtocol,
+    CoinDeck,
+    RoundPlan,
+    register_array_protocol,
+)
+from repro.sim.core.channel import ChannelRound
+from repro.sim.core.stats import SimResult
+from repro.sim.engine import run_until_all_informed
 from repro.sim.protocol import (
     Action,
     BroadcastProtocol,
@@ -53,9 +67,15 @@ from repro.sim.protocol import (
     NodeContext,
     register_protocol,
 )
+from repro.sim.runners import (
+    BroadcastRun,
+    BroadcastSpec,
+    prepare_broadcast_engine,
+    register_broadcast_spec,
+)
 from repro.sim.topology import RadioNetwork
 
-__all__ = ["GHKBroadcastProtocol", "GHKResult", "run_ghk_broadcast"]
+__all__ = ["GHKBroadcastProtocol", "GHKArrayProtocol", "GHKResult", "run_ghk_broadcast"]
 
 
 @register_protocol("ghk")
@@ -133,6 +153,90 @@ class GHKBroadcastProtocol(BroadcastProtocol):
         return self.informed
 
 
+@register_array_protocol("ghk")
+class GHKArrayProtocol(BroadcastArrayProtocol):
+    """Whole-network GHK: wave, layer slots, and backoff as array state.
+
+    Mirrors :class:`GHKBroadcastProtocol` branch-for-branch — relay pulses
+    take precedence over layer slots, backoff coins are drawn only by
+    informed nodes in their owned slots, and a node can learn its layer and
+    the message from the same clean pulse — so the two forms produce
+    identical traces on identical seeds.
+    """
+
+    def __init__(self, message: Any = "broadcast"):
+        super().__init__(message)
+        if message is WAVE_PULSE:
+            raise ConfigurationError(
+                "WAVE_PULSE is reserved for synchronization pulses and "
+                "cannot be the broadcast message"
+            )
+
+    def setup(self, ctx: ArrayContext) -> None:
+        super().setup(ctx)
+        if not ctx.collision_detection:
+            raise ConfigurationError(
+                "GHKArrayProtocol requires collision detection: without it "
+                "the synchronization beep wave stalls at the first contended hop"
+            )
+        self.spacing = ctx.params.wave_spacing
+        self.backoff_slots = ctx.params.ghk_backoff_slots(ctx.n_bound)
+        self._init_broadcast_state(ctx)
+        self.wave_distance = np.full(ctx.n_nodes, -1, dtype=np.int64)
+        self.wave_distance[ctx.source] = 0
+        self._pulse_sent = np.zeros(ctx.n_nodes, dtype=bool)
+        self._slots_since_informed = np.zeros(ctx.n_nodes, dtype=np.int64)
+        self._coins = CoinDeck(ctx.streams)
+        #: which transmitters carried the real message (vs a bare pulse)
+        #: in the round being resolved; receivers index it by sender id.
+        self._tx_has_message = np.zeros(ctx.n_nodes, dtype=bool)
+
+    def act(self, round_index: int) -> RoundPlan:
+        r = round_index
+        unsynced = self.wave_distance < 0
+        relay = ~unsynced & ~self._pulse_sent & (r >= self.wave_distance)
+        self._pulse_sent |= relay
+        settled = ~unsynced & ~relay
+        transmit = relay.copy()
+        # Layer slots: r > d and r ≡ d (mod spacing); unsynced rows hold -1
+        # but are masked out by `settled`.
+        slot = (
+            settled
+            & self.informed
+            & (r > self.wave_distance)
+            & ((r - self.wave_distance) % self.spacing == 0)
+        )
+        owners = np.nonzero(slot)[0]
+        if owners.size:
+            k = self._slots_since_informed[owners] % self.backoff_slots
+            self._slots_since_informed[owners] += 1
+            fire = self._coins.draw(owners) < np.power(2.0, -k.astype(np.float64))
+            transmit[owners[fire]] = True
+        listen = unsynced | (settled & ~self.informed)
+        np.copyto(self._tx_has_message, transmit & self.informed)
+        return RoundPlan(transmit=transmit, listen=listen)
+
+    def on_feedback(self, round_index: int, channel: ChannelRound) -> None:
+        r = round_index
+        # Beep: any non-silent outcome (collision detection is guaranteed
+        # by setup), fixing the layer of every first-time hearer.
+        beep = channel.clean | channel.collided
+        newly_synced = beep & (self.wave_distance < 0)
+        self.wave_distance[newly_synced] = r + 1
+        # Message receipt: a clean transmission whose sender piggybacked the
+        # payload — possibly in the very round the wave arrived.
+        newly_informed = (
+            channel.clean & ~self.informed & self._tx_has_message[channel.senders]
+        )
+        if newly_informed.any():
+            self.informed |= newly_informed
+            self.informed_round[newly_informed] = r
+
+    def wave_distances(self) -> tuple[int, ...]:
+        """Per-node BFS layers as plain ints (-1 where the wave never arrived)."""
+        return tuple(self.wave_distance.tolist())
+
+
 @dataclass(frozen=True)
 class GHKResult:
     """Outcome of one successful :func:`run_ghk_broadcast`."""
@@ -171,10 +275,6 @@ def run_ghk_broadcast(
     raised carrying the undelivered node set — the same contract as
     :func:`repro.sim.decay.run_decay`, so sweeps can drive both uniformly.
     """
-    if message is None:
-        raise ConfigurationError(
-            "run_ghk_broadcast needs a non-None message to broadcast"
-        )
     if message is WAVE_PULSE:
         raise ConfigurationError(
             "WAVE_PULSE is reserved for synchronization pulses and cannot be "
@@ -185,29 +285,59 @@ def run_ghk_broadcast(
             "run_ghk_broadcast models the paper's collision-detection setting; "
             "use run_decay for the collision-blind baseline"
         )
-    params = params if params is not None else ProtocolParams.paper()
-    bound = n_bound if n_bound is not None else network.n
-    if budget is None:
-        budget = params.ghk_broadcast_rounds(network.eccentricity(), bound)
-    protocols = [GHKBroadcastProtocol(message=message) for _ in range(network.n)]
-    engine = Engine(
+    prepared = prepare_broadcast_engine(
+        GHK_SPEC,
         network,
-        protocols,
+        params,
         seed=seed,
+        message=message,
         collision_detection=True,
-        params=params,
-        n_bound=bound,
+        n_bound=n_bound,
+        budget=budget,
         trace=trace,
     )
-    sim = run_until_all_informed(engine, budget, label="GHK", seed=seed)
+    sim = run_until_all_informed(prepared.engine, prepared.budget, label="GHK", seed=seed)
     return GHKResult(
         network=network.name,
         n=network.n,
         seed=seed,
-        budget=budget,
+        budget=prepared.budget,
         rounds_to_delivery=sim.rounds_run,
-        informed_rounds=tuple(p.informed_round for p in protocols),
-        wave_distances=tuple(p.wave_distance for p in protocols),
-        wave_spacing=params.wave_spacing,
+        informed_rounds=tuple(p.informed_round for p in prepared.protocols),
+        wave_distances=tuple(p.wave_distance for p in prepared.protocols),
+        wave_spacing=prepared.params.wave_spacing,
         sim=sim,
     )
+
+
+def _ghk_array_result(run: BroadcastRun) -> GHKResult:
+    protocol = run.protocol
+    assert isinstance(protocol, GHKArrayProtocol)
+    return GHKResult(
+        network=run.network.name,
+        n=run.network.n,
+        seed=run.seed,
+        budget=run.budget,
+        rounds_to_delivery=run.sim.rounds_run,
+        informed_rounds=protocol.informed_rounds(),
+        wave_distances=protocol.wave_distances(),
+        wave_spacing=run.params.wave_spacing,
+        sim=run.sim,
+    )
+
+
+GHK_SPEC = register_broadcast_spec(
+    BroadcastSpec(
+        name="ghk",
+        label="GHK",
+        runner=run_ghk_broadcast,
+        protocol_factory=GHKBroadcastProtocol,
+        array_factory=GHKArrayProtocol,
+        budget_for=lambda params, net, bound: params.ghk_broadcast_rounds(
+            net.eccentricity(), bound
+        ),
+        default_collision_detection=True,
+        requires_collision_detection=True,
+        build_result=_ghk_array_result,
+    )
+)

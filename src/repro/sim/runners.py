@@ -1,49 +1,362 @@
-"""Name-based dispatch of end-to-end broadcast drivers.
+"""Broadcast driver dispatch, shared driver plumbing, and the batch API.
 
-The protocol registry (:mod:`repro.sim.protocol`) maps names to per-node
-``Protocol`` classes; this module maps the same names to the *drivers*
-(``run_decay``, ``run_ghk_broadcast``, ...) that build a full protocol
-array, pick a round budget, run the engine, and either return a result
-object or raise :class:`~repro.errors.BroadcastFailure`.  Every driver
-shares the signature::
+Three layers live here:
 
-    runner(network, params=None, *, seed=0, message="broadcast",
-           n_bound=None, budget=None, trace=False, ...)
+* **Specs.**  A :class:`BroadcastSpec` bundles everything a protocol needs
+  to be driven end-to-end — its object runner (``run_decay``,
+  ``run_ghk_broadcast``, ...), its array-protocol factory, its round-budget
+  rule, its collision-detection requirements, and its result builder.
+  Algorithm modules register their spec at import time; the lookup
+  functions lazily import them so ``runners`` never imports an algorithm
+  module at its own import time (which would be circular — the algorithm
+  modules import the shared helpers below).
 
-and every result object exposes at least ``rounds_to_delivery``,
+* **Shared driver preamble.**  :func:`prepare_broadcast_engine` is the
+  once-copy-pasted head of every object-path ``run_*`` driver: resolve the
+  params preset, the public size bound, and the round budget; choose the
+  collision-detection setting; build one protocol instance per node; and
+  construct the :class:`~repro.sim.engine.Engine`.
+
+* **Batch execution.**  :func:`run_broadcast_batch` drives any number of
+  (network, seed) instances of one protocol through the array-native
+  :class:`~repro.sim.core.batch.BatchEngine` — one process, per-topology
+  fused kernel calls, early exit per instance — and returns per-instance
+  results; :func:`run_broadcast` is the single-instance convenience used
+  by the demo CLI.  Array runs are bitwise-equivalent to the object path
+  on the same seeds (see ``tests/test_equivalence.py``), just much faster.
+
+Every result object exposes at least ``rounds_to_delivery``,
 ``informed_rounds``, ``budget`` and ``sim``, which is what the demo CLI
 and the experiments harness rely on to treat protocols uniformly.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import ConfigurationError
-from repro.sim.decay import run_decay
-from repro.sim.ghk_broadcast import run_ghk_broadcast
+from repro.errors import BroadcastFailure, ConfigurationError
+from repro.params import ProtocolParams
+from repro.sim.core.array_protocol import BroadcastArrayProtocol
+from repro.sim.core.batch import BatchEngine, BatchItem
+from repro.sim.core.stats import SimResult
+from repro.sim.engine import Engine
+from repro.sim.protocol import BroadcastProtocol
+from repro.sim.topology import RadioNetwork
 
-__all__ = ["BROADCAST_RUNNERS", "BROADCAST_PROTOCOL_NAMES", "broadcast_runner"]
+__all__ = [
+    "BROADCAST_RUNNERS",
+    "BROADCAST_PROTOCOL_NAMES",
+    "BroadcastSpec",
+    "broadcast_runner",
+    "broadcast_spec",
+    "prepare_broadcast_engine",
+    "register_broadcast_spec",
+    "run_broadcast",
+    "run_broadcast_batch",
+]
 
-#: Broadcast drivers by protocol name; each uses the collision-detection
-#: setting its protocol is designed for (Decay is collision-blind, GHK
-#: requires detection).
-BROADCAST_RUNNERS: dict[str, Callable[..., Any]] = {
-    "decay": run_decay,
-    "ghk": run_ghk_broadcast,
-}
+#: All runnable broadcast protocol names, sorted; rebound on every spec
+#: registration so it always mirrors the registry (read it as
+#: ``runners.BROADCAST_PROTOCOL_NAMES`` at use time, not via a from-import
+#: snapshot, if registrations may happen after your module loads).
+BROADCAST_PROTOCOL_NAMES: tuple[str, ...] = ()
 
-#: All runnable broadcast protocol names, sorted.
-BROADCAST_PROTOCOL_NAMES: tuple[str, ...] = tuple(sorted(BROADCAST_RUNNERS))
+#: Broadcast object-path drivers by protocol name, populated by spec
+#: registration; each uses the collision-detection setting its protocol is
+#: designed for (Decay is collision-blind, GHK requires detection).
+BROADCAST_RUNNERS: dict[str, Callable[..., Any]] = {}
 
 
-def broadcast_runner(name: str) -> Callable[..., Any]:
-    """Look up a broadcast driver by protocol name."""
+@dataclass(frozen=True)
+class BroadcastSpec:
+    """Everything needed to drive one broadcast protocol end-to-end."""
+
+    name: str
+    #: human-readable label used in failure messages ("Decay", "GHK").
+    label: str
+    #: the object-path driver (``run_decay``-shaped signature).
+    runner: Callable[..., Any]
+    #: per-node object protocol factory, called with ``message=...``.
+    protocol_factory: Callable[..., BroadcastProtocol]
+    #: whole-network array protocol factory, called with ``message=...``.
+    array_factory: Callable[..., BroadcastArrayProtocol]
+    #: default round budget: ``(params, network, n_bound) -> rounds``.
+    budget_for: Callable[[ProtocolParams, RadioNetwork, int], int]
+    #: collision-detection setting used when the caller does not choose.
+    default_collision_detection: bool
+    #: whether the protocol is only correct *with* collision detection.
+    requires_collision_detection: bool
+    #: build the protocol's result object after a successful array run:
+    #: ``(spec_run_info) -> result``; see :func:`run_broadcast_batch`.
+    build_result: Callable[["BroadcastRun"], Any]
+
+
+@dataclass(frozen=True)
+class BroadcastRun:
+    """The ingredients a :attr:`BroadcastSpec.build_result` hook receives."""
+
+    network: RadioNetwork
+    seed: int
+    budget: int
+    params: ProtocolParams
+    n_bound: int
+    protocol: BroadcastArrayProtocol
+    sim: SimResult
+
+
+_SPECS: dict[str, BroadcastSpec] = {}
+
+
+def register_broadcast_spec(spec: BroadcastSpec) -> BroadcastSpec:
+    """Register a protocol's driver spec (called by the algorithm modules)."""
+    global BROADCAST_PROTOCOL_NAMES
+    if spec.name in _SPECS:
+        raise ConfigurationError(
+            f"broadcast protocol {spec.name!r} is already registered"
+        )
+    _SPECS[spec.name] = spec
+    BROADCAST_RUNNERS[spec.name] = spec.runner
+    BROADCAST_PROTOCOL_NAMES = tuple(sorted(_SPECS))
+    return spec
+
+
+def _ensure_specs_loaded() -> None:
+    # The algorithm modules register their specs at import time; importing
+    # them here (instead of at module top) keeps runners <-> algorithms
+    # acyclic while making every lookup self-sufficient.
+    import repro.sim.decay  # noqa: F401
+    import repro.sim.ghk_broadcast  # noqa: F401
+
+
+def broadcast_spec(name: str) -> BroadcastSpec:
+    """Look up a broadcast driver spec by protocol name."""
+    _ensure_specs_loaded()
     try:
-        return BROADCAST_RUNNERS[name]
+        return _SPECS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown broadcast protocol {name!r}; "
             f"choose from {BROADCAST_PROTOCOL_NAMES}"
         ) from None
+
+
+def broadcast_runner(name: str) -> Callable[..., Any]:
+    """Look up a broadcast object-path driver by protocol name."""
+    return broadcast_spec(name).runner
+
+
+# ---------------------------------------------------------------------- #
+# Shared object-path driver preamble
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PreparedBroadcast:
+    """The fully-resolved head of one object-path broadcast run."""
+
+    engine: Engine
+    protocols: tuple[BroadcastProtocol, ...]
+    params: ProtocolParams
+    n_bound: int
+    budget: int
+    collision_detection: bool
+
+
+def prepare_broadcast_engine(
+    spec: BroadcastSpec,
+    network: RadioNetwork,
+    params: ProtocolParams | None = None,
+    *,
+    seed: int = 0,
+    message: Any = "broadcast",
+    collision_detection: bool | None = None,
+    n_bound: int | None = None,
+    budget: int | None = None,
+    trace: bool = False,
+) -> PreparedBroadcast:
+    """Resolve defaults and build the engine for one object-path run.
+
+    This is the driver preamble shared by every ``run_*`` broadcast driver:
+    params preset, public size bound, round budget via the spec's budget
+    rule, collision-detection choice (the spec's default unless the caller
+    picks, with a hard requirement check), one protocol instance per node,
+    and the :class:`Engine` wiring them together.
+    """
+    if message is None:
+        raise ConfigurationError(
+            f"{spec.runner.__name__} needs a non-None message to broadcast"
+        )
+    if collision_detection is None:
+        collision_detection = spec.default_collision_detection
+    if spec.requires_collision_detection and not collision_detection:
+        raise ConfigurationError(
+            f"{spec.label} requires collision detection; "
+            f"{spec.runner.__name__} cannot model a collision-blind channel"
+        )
+    params = params if params is not None else ProtocolParams.paper()
+    bound = n_bound if n_bound is not None else network.n
+    if budget is None:
+        budget = spec.budget_for(params, network, bound)
+    protocols = tuple(spec.protocol_factory(message=message) for _ in range(network.n))
+    engine = Engine(
+        network,
+        protocols,
+        seed=seed,
+        collision_detection=collision_detection,
+        params=params,
+        n_bound=bound,
+        trace=trace,
+    )
+    return PreparedBroadcast(
+        engine=engine,
+        protocols=protocols,
+        params=params,
+        n_bound=bound,
+        budget=budget,
+        collision_detection=collision_detection,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Array-native batch execution
+# ---------------------------------------------------------------------- #
+def run_broadcast_batch(
+    protocol: str,
+    networks: Sequence[RadioNetwork],
+    *,
+    seeds: Sequence[int] | None = None,
+    params: ProtocolParams | None = None,
+    message: Any = "broadcast",
+    collision_detection: bool | None = None,
+    n_bound: int | None = None,
+    budget: int | None = None,
+    trace: bool = False,
+) -> list[Any]:
+    """Run one broadcast instance per (network, seed) through the batch engine.
+
+    Returns one entry per instance, in order: the protocol's result object
+    on success, or the :class:`~repro.errors.BroadcastFailure` (as a value,
+    not raised) when the instance exhausted its budget — sweeps count
+    failures rather than crash, exactly like the object-path harnesses.
+    """
+    spec = broadcast_spec(protocol)
+    if seeds is None:
+        seeds = range(len(networks))
+    seeds = list(seeds)
+    if len(seeds) != len(networks):
+        raise ConfigurationError(
+            f"need one seed per network: got {len(seeds)} seeds "
+            f"for {len(networks)} networks"
+        )
+    if collision_detection is None:
+        collision_detection = spec.default_collision_detection
+    if spec.requires_collision_detection and not collision_detection:
+        raise ConfigurationError(
+            f"{spec.label} requires collision detection; "
+            f"run_broadcast_batch cannot model a collision-blind channel for it"
+        )
+    params = params if params is not None else ProtocolParams.paper()
+    items: list[BatchItem] = []
+    for net, seed in zip(networks, seeds):
+        bound = n_bound if n_bound is not None else net.n
+        items.append(
+            BatchItem(
+                network=net,
+                protocol=spec.array_factory(message=message),
+                budget=budget if budget is not None else spec.budget_for(params, net, bound),
+                seed=seed,
+                collision_detection=collision_detection,
+                params=params,
+                n_bound=bound,
+                tag=seed,
+            )
+        )
+    outcomes = BatchEngine(items, trace=trace).run()
+    results: list[Any] = []
+    for outcome in outcomes:
+        item = outcome.item
+        proto = item.protocol
+        assert isinstance(proto, BroadcastArrayProtocol)
+        if not outcome.completed:
+            undelivered = proto.undelivered()
+            results.append(
+                BroadcastFailure(
+                    f"{spec.label} on {item.network.name} (seed={item.seed}) left "
+                    f"{len(undelivered)} of {item.network.n} nodes uninformed "
+                    f"after {item.budget} rounds",
+                    undelivered,
+                    sim=outcome.sim,
+                )
+            )
+            continue
+        results.append(
+            spec.build_result(
+                BroadcastRun(
+                    # params/n_bound were resolved when the item was built,
+                    # so they are never None here.
+                    network=item.network,
+                    seed=item.seed,
+                    budget=item.budget,
+                    params=item.params,
+                    n_bound=item.n_bound,
+                    protocol=proto,
+                    sim=outcome.sim,
+                )
+            )
+        )
+    return results
+
+
+def run_broadcast(
+    protocol: str,
+    network: RadioNetwork,
+    params: ProtocolParams | None = None,
+    *,
+    seed: int = 0,
+    engine: str = "array",
+    message: Any = "broadcast",
+    collision_detection: bool | None = None,
+    n_bound: int | None = None,
+    budget: int | None = None,
+    trace: bool = False,
+) -> Any:
+    """Run one broadcast end-to-end on the chosen execution path.
+
+    ``engine="array"`` (the default) goes through the batch engine;
+    ``engine="object"`` dispatches to the protocol's classic per-node
+    driver.  Both paths produce the same result values on the same seed and
+    raise :class:`~repro.errors.BroadcastFailure` on an undelivered run.
+    """
+    if engine == "object":
+        runner = broadcast_runner(protocol)
+        kwargs: dict[str, Any] = {}
+        if collision_detection is not None:
+            kwargs["collision_detection"] = collision_detection
+        return runner(
+            network,
+            params,
+            seed=seed,
+            message=message,
+            n_bound=n_bound,
+            budget=budget,
+            trace=trace,
+            **kwargs,
+        )
+    if engine != "array":
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose 'array' or 'object'"
+        )
+    (result,) = run_broadcast_batch(
+        protocol,
+        [network],
+        seeds=[seed],
+        params=params,
+        message=message,
+        collision_detection=collision_detection,
+        n_bound=n_bound,
+        budget=budget,
+        trace=trace,
+    )
+    if isinstance(result, BroadcastFailure):
+        raise result
+    return result

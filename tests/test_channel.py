@@ -1,0 +1,127 @@
+"""Unit tests for the pure channel kernel (single-instance and batched)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.core import adjacency_operand, resolve_channel, round_stats
+from repro.sim.topology import gnp, line, star
+
+
+def _operand(net):
+    return adjacency_operand(net.adjacency_matrix())
+
+
+class TestSingleInstance:
+    def test_counts_are_transmitting_neighbour_counts(self):
+        net = star(5, source=0)  # hub 0, leaves 1-4
+        adj = _operand(net)
+        transmit = np.array([False, True, True, False, False])
+        listen = ~transmit
+        # hub hears both transmitting leaves; each leaf only neighbours the
+        # (silent) hub
+        ch = resolve_channel(adj, transmit, listen)
+        assert ch.counts.tolist() == [2, 0, 0, 0, 0]
+
+    def test_outcome_masks_partition_the_listeners(self):
+        net = line(5)  # 0-1-2-3-4
+        adj = _operand(net)
+        transmit = np.array([True, False, True, False, False])
+        listen = np.array([False, True, False, True, False])  # node 4 sleeps
+        ch = resolve_channel(adj, transmit, listen)
+        # node 1 hears 0 and 2 collide; node 3 cleanly hears 2
+        assert ch.collided.tolist() == [False, True, False, False, False]
+        assert ch.clean.tolist() == [False, False, False, True, False]
+        assert ch.silent.tolist() == [False, False, False, False, False]
+        # every listener lands in exactly one mask; non-listeners in none
+        union = ch.clean | ch.collided | ch.silent
+        assert union.tolist() == listen.tolist()
+
+    def test_senders_identify_the_unique_transmitting_neighbour(self):
+        net = line(4)  # 0-1-2-3
+        adj = _operand(net)
+        transmit = np.array([False, False, True, False])
+        listen = np.array([True, True, False, True])
+        ch = resolve_channel(adj, transmit, listen)
+        assert ch.clean.tolist() == [False, True, False, True]
+        assert ch.senders[1] == 2
+        assert ch.senders[3] == 2
+        # senders are zeroed (not garbage) outside the clean mask, so they
+        # are always safe to use as indices
+        assert ch.senders[0] == 0
+        assert ch.senders[2] == 0
+
+    def test_all_silent_round_has_zero_senders(self):
+        net = line(3)
+        adj = _operand(net)
+        transmit = np.zeros(3, dtype=bool)
+        listen = np.ones(3, dtype=bool)
+        ch = resolve_channel(adj, transmit, listen)
+        assert ch.silent.all()
+        assert not ch.clean.any()
+        assert ch.senders.tolist() == [0, 0, 0]
+
+    def test_round_stats_materialization(self):
+        net = line(4)
+        adj = _operand(net)
+        transmit = np.array([True, False, True, False])
+        listen = np.array([False, True, False, True])
+        ch = resolve_channel(adj, transmit, listen)
+        stats = round_stats(7, transmit, ch)
+        assert stats.round_index == 7
+        assert stats.transmitters == (0, 2)
+        # node 1 hears 0 and 2 collide; node 3 cleanly hears 2
+        assert stats.deliveries == ((3, 2),)
+        assert stats.collisions == (1,)
+        # everything is plain python ints (traces must compare across paths)
+        assert all(isinstance(t, int) for t in stats.transmitters)
+        assert all(isinstance(v, int) for pair in stats.deliveries for v in pair)
+
+
+class TestBatched:
+    @pytest.mark.parametrize("graph_seed", [0, 1, 2])
+    def test_batched_resolution_equals_per_row(self, graph_seed):
+        net = gnp(20, 0.25, seed=graph_seed)
+        adj = _operand(net)
+        rng = np.random.default_rng(graph_seed)
+        transmit = rng.random((6, 20)) < 0.3
+        listen = ~transmit & (rng.random((6, 20)) < 0.7)
+        batched = resolve_channel(adj, transmit, listen)
+        for i in range(6):
+            single = resolve_channel(adj, transmit[i], listen[i])
+            row = batched.row(i)
+            assert np.array_equal(row.counts, single.counts)
+            assert np.array_equal(row.clean, single.clean)
+            assert np.array_equal(row.collided, single.collided)
+            assert np.array_equal(row.silent, single.silent)
+            assert np.array_equal(
+                row.senders[single.clean], single.senders[single.clean]
+            )
+
+    def test_batch_shapes_carry_the_leading_axis(self):
+        net = line(5)
+        adj = _operand(net)
+        transmit = np.zeros((3, 5), dtype=bool)
+        transmit[:, 0] = True
+        listen = ~transmit
+        ch = resolve_channel(adj, transmit, listen)
+        assert ch.counts.shape == (3, 5)
+        assert ch.clean.shape == (3, 5)
+        assert ch.senders.shape == (3, 5)
+
+
+class TestOperand:
+    def test_rejects_non_square_input(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="square"):
+            adjacency_operand(np.zeros((3, 4)))
+
+    def test_operand_is_float64_and_exact(self):
+        net = star(40, source=0)
+        adj = _operand(net)
+        assert adj.dtype == np.float64
+        transmit = np.zeros(40, dtype=bool)
+        transmit[1:] = True  # all 39 leaves transmit at the hub
+        listen = ~transmit
+        ch = resolve_channel(adj, transmit, listen)
+        assert ch.counts[0] == 39

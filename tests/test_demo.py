@@ -1,5 +1,7 @@
 """Tests for the repro.sim.demo smoke-test CLI."""
 
+import json
+
 import pytest
 
 from repro.sim import demo
@@ -59,3 +61,91 @@ def test_demo_reports_topology_error(capsys):
 def test_demo_rejects_unknown_topology():
     with pytest.raises(SystemExit):
         demo.main(["--topology", "moebius"])
+
+
+def test_demo_engines_agree(capsys):
+    args = ["--topology", "grid", "--n", "36", "--seed", "3", "--protocol", "ghk"]
+    assert demo.main(args + ["--engine", "array"]) == 0
+    array_out = capsys.readouterr().out
+    assert demo.main(args + ["--engine", "object"]) == 0
+    object_out = capsys.readouterr().out
+    assert array_out == object_out
+
+
+def test_demo_json_output_is_machine_readable(capsys):
+    rc = demo.main(
+        ["--topology", "grid", "--n", "36", "--seed", "3", "--protocol", "ghk", "--json"]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["status"] == "delivered"
+    assert payload["protocol"] == "ghk"
+    assert payload["n"] == 36
+    assert payload["rounds_to_delivery"] <= payload["budget"]
+    assert len(payload["informed_rounds"]) == 36
+    assert payload["wave_spacing"] >= 3
+    assert "trace" not in payload
+
+
+def test_demo_json_decay_reports_phases(capsys):
+    rc = demo.main(["--topology", "line", "--n", "8", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["phase_length"] >= 1
+    assert payload["phases_to_delivery"] >= 1
+
+
+def test_demo_trace_prints_every_round(capsys):
+    rc = demo.main(["--topology", "line", "--n", "6", "--seed", "0", "--trace"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "round    0: tx=[0]" in out
+    # one line per executed round plus the summary lines
+    rounds = [line for line in out.splitlines() if line.startswith("round ")]
+    assert len(rounds) >= 5
+
+
+def test_demo_json_trace_embeds_round_records(capsys):
+    rc = demo.main(["--topology", "line", "--n", "6", "--seed", "0", "--json", "--trace"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["trace"]) == payload["rounds_to_delivery"]
+    assert payload["trace"][0]["transmitters"] == [0]
+
+
+def test_demo_trace_survives_a_failed_run(monkeypatch, capsys):
+    from repro.params import ProtocolParams
+    from repro.sim import run_broadcast
+    from repro.sim.topology import line
+
+    def starved(*args, **kwargs):
+        return run_broadcast(
+            "decay", line(8), ProtocolParams.fast(), seed=0, budget=2, trace=True
+        )
+
+    monkeypatch.setattr(demo, "run_broadcast", starved)
+    rc = demo.main(["--topology", "line", "--n", "8", "--trace", "--json"])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["status"] == "failed"
+    assert len(payload["trace"]) == 2  # the rounds that were executed
+    rc = demo.main(["--topology", "line", "--n", "8", "--trace"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "round    0:" in captured.out
+    assert "FAILED" in captured.err
+
+
+def test_demo_json_failure_reports_undelivered(monkeypatch, capsys):
+    from repro.errors import BroadcastFailure
+
+    def starved(*args, **kwargs):
+        raise BroadcastFailure("Decay left 2 of 6 nodes uninformed", (4, 5))
+
+    monkeypatch.setattr(demo, "run_broadcast", starved)
+    rc = demo.main(["--topology", "line", "--n", "6", "--json"])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["status"] == "failed"
+    assert payload["undelivered"] == [4, 5]
+    assert "uninformed" in payload["error"]

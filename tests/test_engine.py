@@ -204,6 +204,26 @@ def test_registry_roundtrip():
         register_protocol("scripted-test")(Scripted)
 
 
+def test_run_until_all_informed_rejects_protocols_without_informed_flag():
+    # A non-broadcast protocol used to die with a bare AttributeError deep
+    # inside the stop predicate; now the misuse is named up front.
+    from repro.sim.engine import run_until_all_informed
+
+    engine = Engine(line(3), [Scripted([]) for _ in range(3)])
+    with pytest.raises(SimulationError, match="'informed' flag"):
+        run_until_all_informed(engine, 10, label="Scripted", seed=0)
+
+
+def test_run_until_all_informed_names_the_offending_protocol():
+    from repro.sim.decay import DecayProtocol
+    from repro.sim.engine import run_until_all_informed
+
+    protos = [DecayProtocol(), DecayProtocol(), Scripted([])]
+    engine = Engine(line(3), protos)
+    with pytest.raises(SimulationError, match="Scripted at node 2"):
+        run_until_all_informed(engine, 10, label="mixed", seed=0)
+
+
 def test_determinism_same_seed_same_trace():
     from repro.sim.decay import run_decay
     from repro.sim.topology import gnp

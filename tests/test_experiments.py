@@ -1,12 +1,19 @@
-"""Tests for the Decay-vs-GHK sweep harness and its bench record."""
+"""Tests for the sweep harnesses and their bench records."""
 
 import json
 
 import pytest
 
 from repro.errors import AnalysisError
-from repro.experiments import DEFAULT_TOPOLOGIES, sweep_broadcast, write_bench
+from repro.experiments import (
+    DEFAULT_TOPOLOGIES,
+    bench_engines,
+    merge_records,
+    sweep_broadcast,
+    write_bench,
+)
 from repro.experiments.broadcast_bench import main
+from repro.experiments.engine_bench import main as engine_main
 
 
 class TestSweep:
@@ -97,3 +104,90 @@ class TestCLI:
     def test_write_bench_roundtrip(self, tmp_path):
         path = write_bench({"bench": "broadcast", "results": []}, tmp_path / "b.json")
         assert json.loads(path.read_text()) == {"bench": "broadcast", "results": []}
+
+    def test_multi_size_sweep_merges_into_one_record(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_broadcast.json"
+        rc = main(
+            ["--n", "12", "16", "--seeds", "2", "--topologies", "line", "--out", str(out)]
+        )
+        assert rc == 0
+        record = json.loads(out.read_text())
+        assert record["n"] == [12, 16]
+        assert [e["n"] for e in record["results"]] == [12, 12, 16, 16]
+        stdout = capsys.readouterr().out
+        assert "n=12" in stdout and "n=16" in stdout
+
+
+class TestMergeRecords:
+    def test_single_record_keeps_scalar_n(self):
+        record = {"n": 8, "results": [{"n": 8}]}
+        assert merge_records([record])["n"] == 8
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AnalysisError, match="at least one"):
+            merge_records([])
+
+
+class TestEngineBench:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return bench_engines(n=16, seeds=2, topology="line", preset="fast")
+
+    def test_record_header(self, record):
+        assert record["bench"] == "engine"
+        assert record["paper"] == "conf_podc_GhaffariHK13"
+        assert record["topology"] == "line"
+        assert record["protocols"] == ["decay", "ghk"]
+
+    def test_paths_execute_identical_rounds(self, record):
+        for entry in record["results"]:
+            assert "paths_diverged" not in entry
+            assert entry["object"]["rounds"] == entry["array"]["rounds"]
+            assert entry["object"]["completed"] == entry["array"]["completed"]
+            assert entry["object"]["rounds"] > 0
+            assert entry["speedup_rounds_per_sec"] > 0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError, match="at least one node"):
+            bench_engines(n=0)
+        with pytest.raises(AnalysisError, match="at least one seed"):
+            bench_engines(seeds=0)
+        with pytest.raises(AnalysisError, match="unknown topology"):
+            bench_engines(topology="moebius")
+        with pytest.raises(AnalysisError, match="unknown protocols"):
+            bench_engines(protocols=("gossip",))
+        with pytest.raises(AnalysisError, match="unknown preset"):
+            bench_engines(preset="slow")
+        with pytest.raises(AnalysisError, match="cannot build"):
+            bench_engines(n=2, topology="ring")
+
+    def test_cli_writes_record_and_smoke_ceiling_passes(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_engine.json"
+        rc = engine_main(
+            [
+                "--n", "12", "--seeds", "2", "--topology", "line",
+                "--protocols", "decay", "--out", str(out), "--max-seconds", "120",
+            ]
+        )
+        assert rc == 0
+        record = json.loads(out.read_text())
+        assert record["results"][0]["protocol"] == "decay"
+        stdout = capsys.readouterr().out
+        assert "smoke OK" in stdout
+        assert str(out) in stdout
+
+    def test_cli_smoke_ceiling_failure(self, tmp_path, capsys):
+        rc = engine_main(
+            [
+                "--n", "12", "--seeds", "2", "--topology", "line",
+                "--protocols", "decay", "--out", str(tmp_path / "b.json"),
+                "--max-seconds", "0",
+            ]
+        )
+        assert rc == 1
+        assert "SMOKE FAIL" in capsys.readouterr().err
+
+    def test_cli_reports_bench_errors(self, tmp_path, capsys):
+        rc = engine_main(["--n", "0", "--out", str(tmp_path / "b.json")])
+        assert rc == 2
+        assert "bench error" in capsys.readouterr().err
