@@ -77,13 +77,16 @@ class BroadcastFailure(ReproError):
     ``sim`` carries the failed run's
     :class:`~repro.sim.core.stats.SimResult` when the driver has one, so
     callers (e.g. the demo's ``--trace``) can inspect the rounds that
-    *were* executed.
+    *were* executed.  ``budget`` carries the round budget the run
+    exhausted (``None`` when the raiser did not know it), so failure
+    consumers can report the same fields a success result exposes.
     """
 
-    def __init__(self, message: str, undelivered: tuple = (), *, sim=None):  # noqa: D107
+    def __init__(self, message: str, undelivered: tuple = (), *, sim=None, budget=None):  # noqa: D107
         super().__init__(message)
         self.undelivered = tuple(undelivered)
         self.sim = sim
+        self.budget = budget
 
 
 class AnalysisError(ReproError):

@@ -6,18 +6,31 @@ records (``BENCH_*.json``) that chart the repository's bench trajectory
 over time.  :mod:`repro.experiments.broadcast_bench` compares the Decay
 baseline against the paper's collision-detection broadcast;
 :mod:`repro.experiments.engine_bench` times the object execution path
-against the array-native batch engine over the same sweep.
+against the array-native batch engine over the same sweep;
+:mod:`repro.experiments.multimessage_bench` sweeps the k-message pipeline
+across message counts and measures whether pipelining beats k sequential
+broadcasts.
 """
 
 __all__ = [
+    "DEFAULT_K_VALUES",
+    "DEFAULT_PROTOCOLS",
     "DEFAULT_TOPOLOGIES",
     "bench_engines",
     "merge_records",
     "sweep_broadcast",
+    "sweep_multimessage",
     "write_bench",
 ]
 
-_BROADCAST_EXPORTS = {"DEFAULT_TOPOLOGIES", "merge_records", "sweep_broadcast", "write_bench"}
+_BROADCAST_EXPORTS = {
+    "DEFAULT_PROTOCOLS",
+    "DEFAULT_TOPOLOGIES",
+    "merge_records",
+    "sweep_broadcast",
+    "write_bench",
+}
+_MULTIMESSAGE_EXPORTS = {"DEFAULT_K_VALUES", "sweep_multimessage"}
 
 
 def __getattr__(name: str):
@@ -27,6 +40,10 @@ def __getattr__(name: str):
         from repro.experiments import broadcast_bench
 
         return getattr(broadcast_bench, name)
+    if name in _MULTIMESSAGE_EXPORTS:
+        from repro.experiments import multimessage_bench
+
+        return getattr(multimessage_bench, name)
     if name == "bench_engines":
         from repro.experiments import engine_bench
 

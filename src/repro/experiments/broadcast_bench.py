@@ -32,7 +32,15 @@ from repro.sim import runners
 from repro.sim.runners import run_broadcast_batch
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
-__all__ = ["DEFAULT_TOPOLOGIES", "sweep_broadcast", "merge_records", "write_bench", "main"]
+__all__ = [
+    "DEFAULT_PROTOCOLS",
+    "DEFAULT_TOPOLOGIES",
+    "MERGE_HEADER_KEYS",
+    "sweep_broadcast",
+    "merge_records",
+    "write_bench",
+    "main",
+]
 
 #: The full comparison suite from the ISSUE (star is omitted by default:
 #: with a hub source it is a one-round broadcast for every protocol).
@@ -44,6 +52,12 @@ DEFAULT_TOPOLOGIES: tuple[str, ...] = (
     "dumbbell",
     "unit_disk",
 )
+
+#: The protocols this bench compares by default.  Explicit rather than "all
+#: registered" so that registering a new protocol (e.g. the k-message
+#: broadcast, which has its own bench) does not silently change what this
+#: record measures; pass ``--protocols`` to widen it.
+DEFAULT_PROTOCOLS: tuple[str, ...] = ("decay", "ghk")
 
 
 def _summary(values: list[int]) -> dict:
@@ -77,7 +91,7 @@ def sweep_broadcast(
     if preset not in ("paper", "fast"):
         raise AnalysisError(f"unknown preset {preset!r}; choose paper or fast")
     if protocols is None:
-        protocols = runners.BROADCAST_PROTOCOL_NAMES
+        protocols = DEFAULT_PROTOCOLS
     unknown = [t for t in topologies if t not in TOPOLOGY_NAMES]
     if unknown:
         raise AnalysisError(f"unknown topologies {unknown}; choose from {TOPOLOGY_NAMES}")
@@ -153,15 +167,41 @@ def sweep_broadcast(
     }
 
 
+#: Header fields that must agree across every record being merged; a merged
+#: record stamped with the first record's header would otherwise silently
+#: misdescribe the data of the later records.
+MERGE_HEADER_KEYS: tuple[str, ...] = (
+    "bench",
+    "paper",
+    "preset",
+    "seeds",
+    "protocols",
+    "topologies",
+    "k_values",
+)
+
+
 def merge_records(records: list[dict]) -> dict:
     """Merge per-size sweep records into one multi-size bench record.
 
-    Headers are taken from the first record; ``n`` becomes the list of
-    sizes (kept scalar for a single-size sweep, the original schema) and
-    the per-(size, family, protocol) entries are concatenated in order.
+    Headers are taken from the first record — after validating that every
+    record agrees on them (:data:`MERGE_HEADER_KEYS`); a mismatch raises
+    :class:`AnalysisError` instead of producing a record that misdescribes
+    its own data.  ``n`` becomes the list of sizes (kept scalar for a
+    single-size sweep, the original schema) and the per-(size, family,
+    protocol) entries are concatenated in order.
     """
     if not records:
         raise AnalysisError("merge_records needs at least one sweep record")
+    first = records[0]
+    for position, record in enumerate(records[1:], start=1):
+        for key in MERGE_HEADER_KEYS:
+            if record.get(key) != first.get(key):
+                raise AnalysisError(
+                    f"cannot merge sweep records with mismatched {key!r}: "
+                    f"record 0 has {first.get(key)!r}, record {position} has "
+                    f"{record.get(key)!r}"
+                )
     merged = dict(records[0])
     sizes = [record["n"] for record in records]
     merged["n"] = sizes[0] if len(sizes) == 1 else sizes
@@ -202,10 +242,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--protocols",
         nargs="+",
-        default=list(runners.BROADCAST_PROTOCOL_NAMES),
+        default=list(DEFAULT_PROTOCOLS),
         choices=runners.BROADCAST_PROTOCOL_NAMES,
         metavar="PROTO",
-        help=f"protocols to compare (default: {' '.join(runners.BROADCAST_PROTOCOL_NAMES)})",
+        help=f"protocols to compare (default: {' '.join(DEFAULT_PROTOCOLS)})",
     )
     parser.add_argument(
         "--out", default="BENCH_broadcast.json", help="output JSON path"

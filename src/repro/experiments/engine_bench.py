@@ -25,6 +25,7 @@ import time
 from datetime import datetime, timezone
 
 from repro.errors import AnalysisError, BroadcastFailure, TopologyError
+from repro.experiments.broadcast_bench import DEFAULT_PROTOCOLS
 from repro.params import ProtocolParams
 from repro.sim import runners
 from repro.sim.runners import broadcast_runner, broadcast_spec, run_broadcast_batch
@@ -69,7 +70,7 @@ def bench_engines(
             f"unknown topology {topology!r}; choose from {TOPOLOGY_NAMES}"
         )
     if protocols is None:
-        protocols = runners.BROADCAST_PROTOCOL_NAMES
+        protocols = DEFAULT_PROTOCOLS
     unknown = [p for p in protocols if p not in runners.BROADCAST_PROTOCOL_NAMES]
     if unknown:
         raise AnalysisError(
@@ -87,7 +88,7 @@ def bench_engines(
     results = []
     for protocol in protocols:
         spec = broadcast_spec(protocol)
-        budgets = [spec.budget_for(params, net, net.n) for net in nets]
+        budgets = [spec.budget_for(params, net, net.n, {}) for net in nets]
 
         runner = broadcast_runner(protocol)
         rounds_object = 0
@@ -162,10 +163,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--protocols",
         nargs="+",
-        default=list(runners.BROADCAST_PROTOCOL_NAMES),
+        default=list(DEFAULT_PROTOCOLS),
         choices=runners.BROADCAST_PROTOCOL_NAMES,
         metavar="PROTO",
-        help=f"protocols to time (default: {' '.join(runners.BROADCAST_PROTOCOL_NAMES)})",
+        help=f"protocols to time (default: {' '.join(DEFAULT_PROTOCOLS)})",
     )
     parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
     parser.add_argument("--out", default="BENCH_engine.json", help="output JSON path")

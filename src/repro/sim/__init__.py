@@ -15,6 +15,8 @@ Layers, bottom-up:
   1-bit pulses that advance one hop per round and synchronize the network;
 * :mod:`repro.sim.ghk_broadcast` — the paper's broadcast on top of the
   wave: layered slot schedule + decay backoff, ``O(D + log^2 n)``;
+* :mod:`repro.sim.multi_message` — the k-message pipeline on the same
+  schedule: one message per owned slot, ``O(D + k log n + log^2 n)``;
 * :mod:`repro.sim.runners` — driver dispatch, the shared driver preamble,
   and the array-native batch execution API.
 """
@@ -52,6 +54,12 @@ from repro.sim.ghk_broadcast import (
     GHKBroadcastProtocol,
     GHKResult,
     run_ghk_broadcast,
+)
+from repro.sim.multi_message import (
+    MultiMessageArrayProtocol,
+    MultiMessageProtocol,
+    MultiMessageResult,
+    run_multi_message,
 )
 from repro.sim.protocol import (
     Action,
@@ -118,6 +126,9 @@ __all__ = [
     "GHKArrayProtocol",
     "GHKBroadcastProtocol",
     "GHKResult",
+    "MultiMessageArrayProtocol",
+    "MultiMessageProtocol",
+    "MultiMessageResult",
     "NodeContext",
     "ObjectProtocolAdapter",
     "Protocol",
@@ -153,6 +164,7 @@ __all__ = [
     "run_broadcast_batch",
     "run_decay",
     "run_ghk_broadcast",
+    "run_multi_message",
     "run_until_all_informed",
     "star",
     "stream",

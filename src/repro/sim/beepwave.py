@@ -233,6 +233,8 @@ def run_beep_wave(
             f"{network.n} nodes unsynchronized after {budget} rounds"
             + ("" if collision_detection else " (collision detection was off)"),
             unsynced,
+            sim=sim,
+            budget=budget,
         )
     return BeepWaveResult(
         network=network.name,

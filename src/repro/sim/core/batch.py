@@ -241,12 +241,14 @@ class BatchEngine:
                 )
         # Group same-topology instances so each group's channel resolution
         # is one batched matmul; one kernel operand is built per *distinct*
-        # topology and shared by every engine in its group.
+        # topology and shared by every engine in its group.  The grouping
+        # key is cached on the network, so repeated items cost O(1) here
+        # rather than an O(n^2) serialization each.
         self._groups: dict[bytes, list[int]] = {}
         operands: dict[bytes, np.ndarray] = {}
         keys: list[bytes] = []
         for i, item in enumerate(self.items):
-            key = item.network.adjacency_matrix().tobytes()
+            key = item.network.adjacency_key()
             keys.append(key)
             self._groups.setdefault(key, []).append(i)
             if key not in operands:

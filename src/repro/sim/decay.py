@@ -213,7 +213,7 @@ DECAY_SPEC = register_broadcast_spec(
         runner=run_decay,
         protocol_factory=DecayProtocol,
         array_factory=DecayArrayProtocol,
-        budget_for=lambda params, net, bound: params.decay_broadcast_rounds(
+        budget_for=lambda params, net, bound, options: params.decay_broadcast_rounds(
             net.eccentricity(), bound
         ),
         default_collision_detection=False,

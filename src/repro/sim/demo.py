@@ -13,10 +13,18 @@ detection regardless of the flag.
 
 Runs go through the array-native batch engine by default;
 ``--engine object`` drives the classic per-node protocol objects instead
-(both paths produce identical results on the same seed).  ``--json``
-emits one machine-readable JSON object on stdout instead of prose, and
-``--trace`` logs every round's ground truth (transmitters, deliveries,
-collisions) so a run can be inspected without writing code.
+(both paths produce identical results on the same seed).  ``--messages K``
+broadcasts ``K`` distinct messages with the k-message pipeline
+(``--protocol multimessage``), ``--budget`` overrides the round budget
+(handy for forcing a failure), ``--json`` emits one machine-readable JSON
+object on stdout instead of prose, and ``--trace`` logs every round's
+ground truth (transmitters, deliveries, collisions) so a run can be
+inspected without writing code.
+
+The ``--json`` payload has one shape for both outcomes: the shared keys
+(topology header, ``budget``, ``rounds_run``, channel totals) are always
+present and ``status`` discriminates ``"delivered"`` from ``"failed"``,
+so one consumer schema parses every run.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from repro.params import ProtocolParams
 from repro.sim import runners
 from repro.sim.decay import DecayResult
 from repro.sim.ghk_broadcast import GHKResult
+from repro.sim.multi_message import MultiMessageResult
 from repro.sim.runners import run_broadcast
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
@@ -39,6 +48,13 @@ def _seed(value: str) -> int:
     if seed < 0:
         raise argparse.ArgumentTypeError("seed must be a non-negative integer")
     return seed
+
+
+def _positive(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("expected a positive integer")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="broadcast protocol to run (default: decay)",
     )
     parser.add_argument("--seed", type=_seed, default=0, help="run seed (topology + coins)")
+    parser.add_argument(
+        "--messages",
+        type=_positive,
+        default=1,
+        metavar="K",
+        help="number of distinct messages to broadcast (protocols with "
+        "k-message support, e.g. multimessage; default: 1)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=_positive,
+        default=None,
+        help="override the protocol's round budget (e.g. to force a failure)",
+    )
     parser.add_argument(
         "--preset",
         choices=("paper", "fast"),
@@ -113,6 +143,17 @@ def _trace_rows(history) -> list[dict]:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     params = ProtocolParams.paper() if args.preset == "paper" else ProtocolParams.fast()
+    spec = runners.broadcast_spec(args.protocol)
+    options = {}
+    if "k_messages" in spec.option_names:
+        options["k_messages"] = args.messages
+    elif args.messages != 1:
+        print(
+            f"protocol {args.protocol!r} does not support --messages; "
+            "choose a k-message protocol (e.g. multimessage)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         net = from_spec(args.topology, args.n, seed=args.seed, p=args.p, radius=args.radius)
     except TopologyError as exc:
@@ -123,9 +164,11 @@ def main(argv: list[str] | None = None) -> int:
             f"{net.name}: n={net.n} edges={net.num_edges} "
             f"source-ecc={net.eccentricity()} diameter={net.diameter()}"
         )
-    # GHK always models collision detection; for Decay it is a choice
-    # (which the protocol then ignores anyway).
-    collision_detection = True if args.protocol == "ghk" else args.collision_detection
+    # Protocols that require collision detection always model it; for the
+    # rest (Decay, which ignores it anyway) it is the caller's choice.
+    collision_detection = (
+        True if spec.requires_collision_detection else args.collision_detection
+    )
     payload = {
         "protocol": args.protocol,
         "engine": args.engine,
@@ -135,6 +178,7 @@ def main(argv: list[str] | None = None) -> int:
         "source_eccentricity": net.eccentricity(),
         "diameter": net.diameter(),
         "seed": args.seed,
+        "messages": args.messages,
         "preset": args.preset,
         "collision_detection": collision_detection,
     }
@@ -146,14 +190,28 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             engine=args.engine,
             collision_detection=collision_detection,
+            budget=args.budget,
             trace=args.trace,
+            options=options,
         )
     except BroadcastFailure as exc:
         # The failure carries the executed rounds, so --trace still shows
         # what happened — the case where a trace is most useful.
-        history = exc.sim.history if exc.sim is not None else ()
+        sim = exc.sim
+        history = sim.history if sim is not None else ()
         if args.json:
-            payload.update(status="failed", error=str(exc), undelivered=sorted(exc.undelivered))
+            # Same shape as the success payload (shared keys + status
+            # discriminator) so one consumer schema parses both.
+            payload.update(
+                status="failed",
+                budget=exc.budget,
+                rounds_run=sim.rounds_run if sim is not None else None,
+                transmissions=sim.total_transmissions if sim is not None else None,
+                deliveries=sim.total_deliveries if sim is not None else None,
+                collisions=sim.total_collisions if sim is not None else None,
+                error=str(exc),
+                undelivered=sorted(exc.undelivered),
+            )
             if args.trace:
                 payload["trace"] = _trace_rows(history)
             print(json.dumps(payload, indent=2))
@@ -168,18 +226,21 @@ def main(argv: list[str] | None = None) -> int:
         payload.update(
             status="delivered",
             budget=result.budget,
-            rounds_to_delivery=result.rounds_to_delivery,
-            informed_rounds=list(result.informed_rounds),
+            rounds_run=result.sim.rounds_run,
             transmissions=result.sim.total_transmissions,
             deliveries=result.sim.total_deliveries,
             collisions=result.sim.total_collisions,
+            rounds_to_delivery=result.rounds_to_delivery,
+            informed_rounds=list(result.informed_rounds),
         )
         if isinstance(result, DecayResult):
             payload.update(
                 phase_length=result.phase_length,
                 phases_to_delivery=result.phases_to_delivery,
             )
-        elif isinstance(result, GHKResult):
+        elif isinstance(result, (GHKResult, MultiMessageResult)):
+            if isinstance(result, MultiMessageResult):
+                payload.update(k_messages=result.k_messages)
             payload.update(
                 wave_depth=max(result.wave_distances),
                 wave_spacing=result.wave_spacing,
@@ -196,9 +257,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{result.phases_to_delivery} Decay phases of {result.phase_length} rounds"
         )
-    elif isinstance(result, GHKResult):
+    elif isinstance(result, (GHKResult, MultiMessageResult)):
+        pipelined = (
+            f"{result.k_messages} messages pipelined, "
+            if isinstance(result, MultiMessageResult)
+            else ""
+        )
         print(
-            f"wave depth {max(result.wave_distances)}, "
+            f"{pipelined}wave depth {max(result.wave_distances)}, "
             f"layer-slot period {result.wave_spacing}"
         )
     print(

@@ -168,5 +168,6 @@ def run_until_all_informed(engine: Engine, budget: int, *, label: str, seed: int
             f"after {budget} rounds",
             undelivered,
             sim=sim,
+            budget=budget,
         )
     return sim

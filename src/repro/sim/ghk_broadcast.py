@@ -333,7 +333,7 @@ GHK_SPEC = register_broadcast_spec(
         runner=run_ghk_broadcast,
         protocol_factory=GHKBroadcastProtocol,
         array_factory=GHKArrayProtocol,
-        budget_for=lambda params, net, bound: params.ghk_broadcast_rounds(
+        budget_for=lambda params, net, bound, options: params.ghk_broadcast_rounds(
             net.eccentricity(), bound
         ),
         default_collision_detection=True,

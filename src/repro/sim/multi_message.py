@@ -1,0 +1,565 @@
+"""The paper's k-message broadcast: ``O(D + k log n + log^2 n)`` rounds.
+
+The headline multi-message result (Theorem 1.2) pipelines ``k`` distinct
+messages through the same two mechanisms the single-message GHK broadcast
+uses (:mod:`repro.sim.ghk_broadcast`):
+
+1. **Wave synchronization.**  One beep wave sweeps the network in ``D``
+   rounds and teaches every node its BFS layer; relay pulses piggyback a
+   held message, so uncontended stretches of the wavefront already start
+   delivering payload at one hop per round.
+
+2. **Layered slot schedule, one message per owned slot.**  After the wave,
+   layer ``d`` owns round ``t`` iff ``t ≡ d (mod wave_spacing)``, which
+   removes all cross-layer collisions.  A node holding at least one
+   message contends for each of its owned slots with the usual decay
+   backoff (transmit with probability ``2^-(j mod B)`` in its ``j``-th
+   owned slot, ``B = Θ(log n)``); when its coin fires it transmits **one**
+   message: the held message it has transmitted the *fewest* times so far,
+   breaking ties uniformly at random.  Least-sent-first is what makes the
+   pipeline pay: a freshly received message preempts everything the node
+   has already forwarded, so in steady state nearly every firing pushes
+   the frontier, while older messages still recycle once counts equalize —
+   a receiver that lost a transmission to a same-layer collision gets it
+   again.  Blind round-robin over held messages would instead spend only
+   ``1/k`` of each hop's firings usefully, degrading the whole broadcast
+   to ``Ω(k^2)``; and a *deterministic* tie-break would synchronize every
+   saturated node onto the same resend cycle, making a receiver that
+   missed one message wait a full ``k``-cycle for every neighbour to come
+   back around simultaneously.  Different messages stream through the layer
+   schedule back to back — message ``m+1`` does not wait for message
+   ``m`` to finish its ``D``-round journey, which is exactly what turns
+   ``k`` sequential ``O(D + log^2 n)`` broadcasts into one
+   ``O(D + k log n + log^2 n)`` pipeline.
+
+3. **Source pumping.**  The source transmits in every owned slot without a
+   coin: layer 0 is a singleton by definition (only the source is at
+   distance 0), so there is no contention to back off from, and
+   probabilistic injection would otherwise cap the whole broadcast at one
+   message per ``wave_spacing / E[2^-j]`` rounds regardless of ``k``.
+
+4. **Piggybacked requests.**  Every data transmission carries, besides its
+   payload, the transmitter's lowest *missing* message index (``-1`` once
+   it holds everything).  Any holder of that message that overhears the
+   request — settled nodes listen whenever they are not transmitting —
+   marks it *requested*, and selection serves requested messages first
+   (least-sent-first within each class).  A request persists until it is
+   *observably* served — the holder hears that message delivered cleanly
+   nearby, or hears a ``want`` that moved past it (the want is the lowest
+   missing index, so everything below it is demonstrably held) — rather
+   than being consumed by the holder's own transmission, which under a
+   synchronized decay cycle would burn the flag on the early collided
+   slots and leave the productive singleton slot carrying a random
+   duplicate.  Stale flags are harmless: live requesters re-announce with
+   every firing.  This is the radio-native cure for the duplicate problem
+   that otherwise dominates for large ``k``: blind senders near saturation
+   deliver a novel message only once per ``~k`` receipts (a
+   coupon-collector tail), while a piggybacked request turns the
+   straggler's wait into one round trip through its own layer slot.
+   Requests are a priority boost, never a mute, so no receiver can be
+   starved by a wrong or stale request.
+
+Messages travel as ``(index, payload, want)`` triples so a receiver can
+tell which of the ``k`` messages a clean receipt carries (the index plays
+the role of the sequence tag any real multi-message protocol attaches,
+and ``want`` is the piggybacked request); the
+:data:`~repro.sim.beepwave.WAVE_PULSE` sentinel still marks a content-free
+pulse.  A node is *informed* once it holds **all** ``k`` messages — the
+completion predicate the drivers and the batch engine share with the
+single-message protocols.
+
+Like every protocol in the repo, the broadcast exists in both execution
+forms — :class:`MultiMessageProtocol` per node,
+:class:`MultiMessageArrayProtocol` whole-network — coin-for-coin identical
+on shared seeds.  The protocol requires collision detection (the wave
+stalls without it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.params import ProtocolParams
+from repro.sim.beepwave import WAVE_PULSE, in_layer_slot, is_beep
+from repro.sim.core.array_protocol import (
+    ArrayContext,
+    BroadcastArrayProtocol,
+    CoinDeck,
+    RoundPlan,
+    register_array_protocol,
+)
+from repro.sim.core.channel import ChannelRound
+from repro.sim.core.stats import SimResult
+from repro.sim.engine import run_until_all_informed
+from repro.sim.protocol import (
+    Action,
+    BroadcastProtocol,
+    Feedback,
+    FeedbackKind,
+    NodeContext,
+    register_protocol,
+)
+from repro.sim.runners import (
+    BroadcastRun,
+    BroadcastSpec,
+    prepare_broadcast_engine,
+    register_broadcast_spec,
+)
+from repro.sim.topology import RadioNetwork
+
+__all__ = [
+    "MultiMessageProtocol",
+    "MultiMessageArrayProtocol",
+    "MultiMessageResult",
+    "run_multi_message",
+]
+
+
+def _check_message_and_k(message: Any, k_messages: Any) -> int:
+    if message is WAVE_PULSE:
+        raise ConfigurationError(
+            "WAVE_PULSE is reserved for synchronization pulses and cannot be "
+            "the broadcast message"
+        )
+    if not isinstance(k_messages, int) or isinstance(k_messages, bool) or k_messages < 1:
+        raise ConfigurationError(
+            f"k_messages must be a positive integer, got {k_messages!r}"
+        )
+    return k_messages
+
+
+@register_protocol("multimessage")
+class MultiMessageProtocol(BroadcastProtocol):
+    """Per-node state machine of the k-message pipelined broadcast.
+
+    The source starts holding all ``k`` messages (payload ``i`` is the pair
+    ``(i, message)``); every other node collects them one clean receipt at
+    a time.  Slot-for-slot and coin-for-coin, ``k_messages=1`` reproduces
+    :class:`~repro.sim.ghk_broadcast.GHKBroadcastProtocol` exactly.
+    """
+
+    def __init__(self, message: Any = "broadcast", k_messages: int = 1):
+        super().__init__(message)
+        self.k_messages = _check_message_and_k(message, k_messages)
+
+    def setup(self, ctx: NodeContext) -> None:
+        super().setup(ctx)
+        if not ctx.collision_detection:
+            raise ConfigurationError(
+                "MultiMessageProtocol requires collision detection: without it "
+                "the synchronization beep wave stalls at the first contended hop"
+            )
+        self.spacing = ctx.params.wave_spacing
+        self.backoff_slots = ctx.params.ghk_backoff_slots(ctx.n_bound)
+        k = self.k_messages
+        #: which of the k messages this node holds.
+        self.known: list[bool] = [ctx.is_source] * k
+        #: held payloads by message index (``None`` until received).
+        self.payloads: list[Any] = [
+            self._injected_message if ctx.is_source else None for _ in range(k)
+        ]
+        #: per-message arrival round (0 for the source, None while missing).
+        self.message_rounds: list[int | None] = [0 if ctx.is_source else None] * k
+        #: holds all k messages — the broadcast completion predicate.
+        self.informed = ctx.is_source
+        self.informed_round: int | None = 0 if ctx.is_source else None
+        #: BFS layer, learned when the sync wave arrives (0 for the source).
+        self.wave_distance: int | None = 0 if ctx.is_source else None
+        self._pulse_sent = False
+        self._slots_contended = 0
+        #: how many times this node has transmitted each message.
+        self._send_count: list[int] = [0] * k
+        #: held messages some overheard neighbour announced it was missing.
+        self._requested: list[bool] = [False] * k
+
+    # ------------------------------------------------------------------ #
+    # Message bookkeeping
+    # ------------------------------------------------------------------ #
+    def _lowest_missing(self) -> int:
+        """The piggybacked request: lowest missing index, -1 when complete."""
+        for index, held in enumerate(self.known):
+            if not held:
+                return index
+        return -1
+
+    def _next_held(self) -> int:
+        """Requested-first, least-sent-first selection (caller holds >= 1).
+
+        Candidates are the held-and-requested messages with the minimal
+        send count, or the held messages with the minimal send count when
+        nothing is requested; ties break uniformly at random (one coin,
+        drawn only when there are >= 2 candidates, so ``k_messages=1``
+        draws no selection coins at all).  The transmission is counted;
+        the request flag survives until observably served (see module
+        docstring).
+        """
+        pool = [
+            index
+            for index, (held, req) in enumerate(zip(self.known, self._requested))
+            if held and req
+        ]
+        if not pool:
+            pool = [index for index, held in enumerate(self.known) if held]
+        least = min(self._send_count[index] for index in pool)
+        candidates = [index for index in pool if self._send_count[index] == least]
+        if len(candidates) == 1:
+            chosen = candidates[0]
+        else:
+            chosen = candidates[int(self.ctx.rng.random() * len(candidates))]
+        self._send_count[chosen] += 1
+        return chosen
+
+    def _transmit_payload(self, index: int) -> tuple[int, Any, int]:
+        return (index, self.payloads[index], self._lowest_missing())
+
+    # ------------------------------------------------------------------ #
+    # Round behaviour
+    # ------------------------------------------------------------------ #
+    def act(self, round_index: int) -> Action:
+        if self.wave_distance is None:
+            # Waiting for the sync wave; the first beep fixes our layer.
+            return Action.listen()
+        if not self._pulse_sent and round_index >= self.wave_distance:
+            # Relay the wave exactly once, piggybacking a held message so
+            # uncontended receivers start collecting from the wave itself.
+            self._pulse_sent = True
+            if not any(self.known):
+                return Action.transmit(WAVE_PULSE)
+            return Action.transmit(self._transmit_payload(self._next_held()))
+        if any(self.known) and in_layer_slot(round_index, self.wave_distance, self.spacing):
+            if self.ctx.is_source:
+                # Layer 0 is a singleton by definition, so the source pumps
+                # a message in every owned slot — no contention, no coin.
+                return Action.transmit(self._transmit_payload(self._next_held()))
+            j = self._slots_contended % self.backoff_slots
+            self._slots_contended += 1
+            if self.ctx.rng.random() < 2.0 ** (-j):
+                return Action.transmit(self._transmit_payload(self._next_held()))
+        # Listen whenever not transmitting: missing messages may arrive from
+        # any neighbouring layer, and overheard requests steer selection.
+        return Action.listen()
+
+    def on_feedback(self, round_index: int, feedback: Feedback) -> None:
+        if self.wave_distance is None:
+            if is_beep(feedback):
+                self.wave_distance = feedback.round_index + 1
+            else:
+                return
+        if feedback.kind is not FeedbackKind.MESSAGE or feedback.message is WAVE_PULSE:
+            return
+        index, payload, want = feedback.message
+        if not self.known[index]:
+            self.known[index] = True
+            self.payloads[index] = payload
+            self.message_rounds[index] = round_index
+            if all(self.known):
+                self.informed = True
+                self.informed_round = round_index
+        # The heard message was just delivered in our neighbourhood: its
+        # request, if any, is served.
+        self._requested[index] = False
+        if want >= 0:
+            # The transmitter holds everything below its want, so those
+            # requests are settled; the want itself is live demand.
+            for i in range(want):
+                self._requested[i] = False
+            if self.known[want]:
+                self._requested[want] = True
+
+    def finished(self) -> bool:
+        return self.informed
+
+
+@register_array_protocol("multimessage")
+class MultiMessageArrayProtocol(BroadcastArrayProtocol):
+    """Whole-network k-message broadcast as array state.
+
+    Mirrors :class:`MultiMessageProtocol` branch-for-branch — relay pulses
+    take precedence over layer slots, exactly one backoff coin per owned
+    slot of a node holding >= 1 message, least-sent-first selection with
+    send counts bumped only on an actual transmission — so the two forms
+    produce identical traces on identical seeds.
+    """
+
+    def __init__(self, message: Any = "broadcast", k_messages: int = 1):
+        super().__init__(message)
+        self.k_messages = _check_message_and_k(message, k_messages)
+
+    def setup(self, ctx: ArrayContext) -> None:
+        super().setup(ctx)
+        if not ctx.collision_detection:
+            raise ConfigurationError(
+                "MultiMessageArrayProtocol requires collision detection: without "
+                "it the synchronization beep wave stalls at the first contended hop"
+            )
+        self.spacing = ctx.params.wave_spacing
+        self.backoff_slots = ctx.params.ghk_backoff_slots(ctx.n_bound)
+        self._init_broadcast_state(ctx)  # informed == "holds all k messages"
+        n, k = ctx.n_nodes, self.k_messages
+        self.known = np.zeros((n, k), dtype=bool)
+        self.known[ctx.source, :] = True
+        self.message_round = np.full((n, k), -1, dtype=np.int64)
+        self.message_round[ctx.source, :] = 0
+        self.wave_distance = np.full(n, -1, dtype=np.int64)
+        self.wave_distance[ctx.source] = 0
+        self._pulse_sent = np.zeros(n, dtype=bool)
+        self._slots_contended = np.zeros(n, dtype=np.int64)
+        self._send_count = np.zeros((n, k), dtype=np.int64)
+        self._requested = np.zeros((n, k), dtype=bool)
+        self._coins = CoinDeck(ctx.streams)
+        #: which message index each transmitter carries in the round being
+        #: resolved (-1 for a content-free pulse); receivers index it by
+        #: sender id.
+        self._tx_index = np.full(n, -1, dtype=np.int64)
+        #: each transmitter's piggybacked request in the round being
+        #: resolved (-1 = missing nothing); receivers index it by sender id.
+        self._tx_want = np.full(n, -1, dtype=np.int64)
+
+    def act(self, round_index: int) -> RoundPlan:
+        r = round_index
+        unsynced = self.wave_distance < 0
+        relay = ~unsynced & ~self._pulse_sent & (r >= self.wave_distance)
+        self._pulse_sent |= relay
+        settled = ~unsynced & ~relay
+        holds_any = self.known.any(axis=1)
+        transmit = relay.copy()
+        self._tx_index.fill(-1)
+        relayers = np.nonzero(relay & holds_any)[0]
+        if relayers.size:
+            self._tx_index[relayers] = self._select_least_sent(relayers)
+        # Layer slots: r > d and r ≡ d (mod spacing); unsynced rows hold -1
+        # but are masked out by `settled`.
+        slot = (
+            settled
+            & holds_any
+            & (r > self.wave_distance)
+            & ((r - self.wave_distance) % self.spacing == 0)
+        )
+        source = self.ctx.source
+        if slot[source]:
+            # The source's layer is a singleton: pump without a coin.
+            slot[source] = False
+            transmit[source] = True
+            self._tx_index[source] = self._select_least_sent(
+                np.array([source], dtype=np.int64)
+            )[0]
+        owners = np.nonzero(slot)[0]
+        if owners.size:
+            j = self._slots_contended[owners] % self.backoff_slots
+            self._slots_contended[owners] += 1
+            fire = self._coins.draw(owners) < np.power(2.0, -j.astype(np.float64))
+            firing = owners[fire]
+            if firing.size:
+                transmit[firing] = True
+                self._tx_index[firing] = self._select_least_sent(firing)
+        # Piggyback each payload carrier's lowest missing index.
+        self._tx_want.fill(-1)
+        carriers = np.nonzero(self._tx_index >= 0)[0]
+        if carriers.size:
+            missing = ~self.known[carriers]
+            self._tx_want[carriers] = np.where(
+                missing.any(axis=1), np.argmax(missing, axis=1), -1
+            )
+        # Listen whenever not transmitting: missing messages may arrive from
+        # any neighbouring layer, and overheard requests steer selection.
+        listen = unsynced | (settled & ~transmit)
+        return RoundPlan(transmit=transmit, listen=listen)
+
+    def _select_least_sent(self, nodes: np.ndarray) -> np.ndarray:
+        """Per-node requested-first, least-sent selection, random ties, counted.
+
+        Mirrors the object form's ``_next_held``: the pool is each node's
+        held-and-requested messages, falling back to all held messages when
+        nothing is requested; candidates are the pool entries with the
+        minimal send count; a node with >= 2 candidates draws one tie-break
+        coin from its private stream (nodes with a unique candidate draw
+        nothing, so ``k_messages=1`` draws no selection coins at all).  The
+        chosen transmissions are tallied; request flags survive until
+        observably served (see module docstring).
+        """
+        held = self.known[nodes]
+        requested = held & self._requested[nodes]
+        pool = np.where(requested.any(axis=1)[:, None], requested, held)
+        masked = np.where(
+            pool, self._send_count[nodes], np.iinfo(np.int64).max
+        )
+        candidates = masked == masked.min(axis=1, keepdims=True)
+        num_candidates = candidates.sum(axis=1)
+        pick = np.zeros(nodes.size, dtype=np.int64)
+        tied = num_candidates > 1
+        if tied.any():
+            coins = self._coins.draw(nodes[tied])
+            pick[tied] = (coins * num_candidates[tied]).astype(np.int64)
+        # The pick-th candidate column per row: first column where the
+        # candidate cumulative count exceeds pick.
+        chosen = np.argmax(candidates.cumsum(axis=1) > pick[:, None], axis=1)
+        self._send_count[nodes, chosen] += 1
+        return chosen
+
+    def on_feedback(self, round_index: int, channel: ChannelRound) -> None:
+        r = round_index
+        # Beep: any non-silent outcome (collision detection is guaranteed
+        # by setup), fixing the layer of every first-time hearer.
+        beep = channel.clean | channel.collided
+        newly_synced = beep & (self.wave_distance < 0)
+        self.wave_distance[newly_synced] = r + 1
+        # Message receipt: a clean transmission carrying a payload index.
+        receipt = channel.clean & (self._tx_index[channel.senders] >= 0)
+        receivers = np.nonzero(receipt)[0]
+        if not receivers.size:
+            return
+        senders = channel.senders[receivers]
+        indices = self._tx_index[senders]
+        fresh = ~self.known[receivers, indices]
+        fresh_receivers, fresh_indices = receivers[fresh], indices[fresh]
+        if fresh_receivers.size:
+            self.known[fresh_receivers, fresh_indices] = True
+            self.message_round[fresh_receivers, fresh_indices] = r
+            completed = fresh_receivers[self.known[fresh_receivers].all(axis=1)]
+            if completed.size:
+                self.informed[completed] = True
+                self.informed_round[completed] = r
+        # The heard message was just delivered in each receiver's
+        # neighbourhood: its request, if any, is served.
+        self._requested[receivers, indices] = False
+        # Overheard wants: everything below a want is demonstrably held by
+        # the transmitter, so those requests are settled; the want itself
+        # is live demand for receivers that hold it.
+        wants = self._tx_want[senders]
+        columns = np.arange(self.k_messages, dtype=np.int64)
+        self._requested[receivers] &= columns[None, :] >= wants[:, None]
+        wanted = wants >= 0
+        want_receivers, want_indices = receivers[wanted], wants[wanted]
+        holds_want = self.known[want_receivers, want_indices]
+        self._requested[want_receivers[holds_want], want_indices[holds_want]] = True
+
+    def wave_distances(self) -> tuple[int, ...]:
+        """Per-node BFS layers as plain ints (-1 where the wave never arrived)."""
+        return tuple(self.wave_distance.tolist())
+
+    def message_delivery_rounds(self) -> tuple[tuple[int, ...], ...]:
+        """Per-node tuple of per-message arrival rounds (-1 while missing)."""
+        return tuple(tuple(row) for row in self.message_round.tolist())
+
+
+@dataclass(frozen=True)
+class MultiMessageResult:
+    """Outcome of one successful :func:`run_multi_message`."""
+
+    network: str
+    n: int
+    seed: int
+    budget: int
+    #: number of distinct messages broadcast from the source.
+    k_messages: int
+    #: rounds executed until every node held all k messages.
+    rounds_to_delivery: int
+    #: per-node round at which the *last* missing message arrived.
+    informed_rounds: tuple[int, ...]
+    #: per-node, per-message arrival rounds (k entries per node).
+    message_rounds: tuple[tuple[int, ...], ...]
+    #: per-node BFS layer as learned from the sync wave.
+    wave_distances: tuple[int, ...]
+    #: layer-slot reuse period used by this run.
+    wave_spacing: int
+    sim: SimResult
+
+
+def run_multi_message(
+    network: RadioNetwork,
+    params: ProtocolParams | None = None,
+    *,
+    seed: int = 0,
+    message: Any = "broadcast",
+    k_messages: int = 1,
+    collision_detection: bool = True,
+    n_bound: int | None = None,
+    budget: int | None = None,
+    trace: bool = False,
+) -> MultiMessageResult:
+    """Broadcast ``k_messages`` distinct messages from the source, pipelined.
+
+    Runs until every node holds all ``k`` messages or the round budget
+    (default: :meth:`ProtocolParams.ghk_multi_message_rounds` for the
+    source eccentricity) expires, in which case
+    :class:`~repro.errors.BroadcastFailure` is raised carrying the set of
+    nodes still missing at least one message — the same contract as the
+    single-message drivers, so sweeps drive all of them uniformly.
+    """
+    _check_message_and_k(message, k_messages)
+    if not collision_detection:
+        raise ConfigurationError(
+            "run_multi_message models the paper's collision-detection setting; "
+            "the k-message pipeline has no collision-blind counterpart here"
+        )
+    prepared = prepare_broadcast_engine(
+        MULTI_MESSAGE_SPEC,
+        network,
+        params,
+        seed=seed,
+        message=message,
+        collision_detection=True,
+        n_bound=n_bound,
+        budget=budget,
+        trace=trace,
+        options={"k_messages": k_messages},
+    )
+    sim = run_until_all_informed(
+        prepared.engine, prepared.budget, label="k-message GHK", seed=seed
+    )
+    return MultiMessageResult(
+        network=network.name,
+        n=network.n,
+        seed=seed,
+        budget=prepared.budget,
+        k_messages=k_messages,
+        rounds_to_delivery=sim.rounds_run,
+        informed_rounds=tuple(p.informed_round for p in prepared.protocols),
+        message_rounds=tuple(
+            tuple(-1 if r is None else r for r in p.message_rounds)
+            for p in prepared.protocols
+        ),
+        wave_distances=tuple(p.wave_distance for p in prepared.protocols),
+        wave_spacing=prepared.params.wave_spacing,
+        sim=sim,
+    )
+
+
+def _multi_message_array_result(run: BroadcastRun) -> MultiMessageResult:
+    protocol = run.protocol
+    assert isinstance(protocol, MultiMessageArrayProtocol)
+    return MultiMessageResult(
+        network=run.network.name,
+        n=run.network.n,
+        seed=run.seed,
+        budget=run.budget,
+        k_messages=protocol.k_messages,
+        rounds_to_delivery=run.sim.rounds_run,
+        informed_rounds=protocol.informed_rounds(),
+        message_rounds=protocol.message_delivery_rounds(),
+        wave_distances=protocol.wave_distances(),
+        wave_spacing=run.params.wave_spacing,
+        sim=run.sim,
+    )
+
+
+MULTI_MESSAGE_SPEC = register_broadcast_spec(
+    BroadcastSpec(
+        name="multimessage",
+        label="k-message GHK",
+        runner=run_multi_message,
+        protocol_factory=MultiMessageProtocol,
+        array_factory=MultiMessageArrayProtocol,
+        budget_for=lambda params, net, bound, options: params.ghk_multi_message_rounds(
+            net.eccentricity(), bound, options.get("k_messages", 1)
+        ),
+        default_collision_detection=True,
+        requires_collision_detection=True,
+        build_result=_multi_message_array_result,
+        option_names=frozenset({"k_messages"}),
+    )
+)

@@ -32,8 +32,8 @@ and the experiments harness rely on to treat protocols uniformly.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import BroadcastFailure, ConfigurationError
@@ -78,12 +78,14 @@ class BroadcastSpec:
     label: str
     #: the object-path driver (``run_decay``-shaped signature).
     runner: Callable[..., Any]
-    #: per-node object protocol factory, called with ``message=...``.
+    #: per-node object protocol factory, called with ``message=...`` plus
+    #: any per-run options the spec declares in :attr:`option_names`.
     protocol_factory: Callable[..., BroadcastProtocol]
-    #: whole-network array protocol factory, called with ``message=...``.
+    #: whole-network array protocol factory, called with ``message=...``
+    #: plus the same per-run options.
     array_factory: Callable[..., BroadcastArrayProtocol]
-    #: default round budget: ``(params, network, n_bound) -> rounds``.
-    budget_for: Callable[[ProtocolParams, RadioNetwork, int], int]
+    #: default round budget: ``(params, network, n_bound, options) -> rounds``.
+    budget_for: Callable[[ProtocolParams, RadioNetwork, int, Mapping[str, Any]], int]
     #: collision-detection setting used when the caller does not choose.
     default_collision_detection: bool
     #: whether the protocol is only correct *with* collision detection.
@@ -91,6 +93,9 @@ class BroadcastSpec:
     #: build the protocol's result object after a successful array run:
     #: ``(spec_run_info) -> result``; see :func:`run_broadcast_batch`.
     build_result: Callable[["BroadcastRun"], Any]
+    #: per-run option names this protocol accepts (e.g. ``k_messages``);
+    #: the run APIs reject options outside this set up front.
+    option_names: frozenset[str] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -104,9 +109,26 @@ class BroadcastRun:
     n_bound: int
     protocol: BroadcastArrayProtocol
     sim: SimResult
+    #: the per-run options the instance was built with (``{}`` when none).
+    options: Mapping[str, Any] = field(default_factory=dict)
 
 
 _SPECS: dict[str, BroadcastSpec] = {}
+
+
+def _resolve_options(
+    spec: BroadcastSpec, options: Mapping[str, Any] | None
+) -> dict[str, Any]:
+    """Validate per-run options against the spec's declared option names."""
+    if options is None:
+        return {}
+    unknown = sorted(set(options) - spec.option_names)
+    if unknown:
+        supported = sorted(spec.option_names) or "none"
+        raise ConfigurationError(
+            f"{spec.label} does not accept option(s) {unknown}; supported: {supported}"
+        )
+    return dict(options)
 
 
 def register_broadcast_spec(spec: BroadcastSpec) -> BroadcastSpec:
@@ -128,6 +150,7 @@ def _ensure_specs_loaded() -> None:
     # acyclic while making every lookup self-sufficient.
     import repro.sim.decay  # noqa: F401
     import repro.sim.ghk_broadcast  # noqa: F401
+    import repro.sim.multi_message  # noqa: F401
 
 
 def broadcast_spec(name: str) -> BroadcastSpec:
@@ -173,6 +196,7 @@ def prepare_broadcast_engine(
     n_bound: int | None = None,
     budget: int | None = None,
     trace: bool = False,
+    options: Mapping[str, Any] | None = None,
 ) -> PreparedBroadcast:
     """Resolve defaults and build the engine for one object-path run.
 
@@ -180,7 +204,10 @@ def prepare_broadcast_engine(
     params preset, public size bound, round budget via the spec's budget
     rule, collision-detection choice (the spec's default unless the caller
     picks, with a hard requirement check), one protocol instance per node,
-    and the :class:`Engine` wiring them together.
+    and the :class:`Engine` wiring them together.  ``options`` carries
+    per-run protocol options (validated against the spec's
+    :attr:`~BroadcastSpec.option_names`) into the protocol factory and the
+    budget rule.
     """
     if message is None:
         raise ConfigurationError(
@@ -193,11 +220,14 @@ def prepare_broadcast_engine(
             f"{spec.label} requires collision detection; "
             f"{spec.runner.__name__} cannot model a collision-blind channel"
         )
+    options = _resolve_options(spec, options)
     params = params if params is not None else ProtocolParams.paper()
     bound = n_bound if n_bound is not None else network.n
     if budget is None:
-        budget = spec.budget_for(params, network, bound)
-    protocols = tuple(spec.protocol_factory(message=message) for _ in range(network.n))
+        budget = spec.budget_for(params, network, bound, options)
+    protocols = tuple(
+        spec.protocol_factory(message=message, **options) for _ in range(network.n)
+    )
     engine = Engine(
         network,
         protocols,
@@ -231,6 +261,7 @@ def run_broadcast_batch(
     n_bound: int | None = None,
     budget: int | None = None,
     trace: bool = False,
+    options: Mapping[str, Any] | None = None,
 ) -> list[Any]:
     """Run one broadcast instance per (network, seed) through the batch engine.
 
@@ -238,6 +269,9 @@ def run_broadcast_batch(
     on success, or the :class:`~repro.errors.BroadcastFailure` (as a value,
     not raised) when the instance exhausted its budget — sweeps count
     failures rather than crash, exactly like the object-path harnesses.
+    ``options`` carries per-run protocol options (e.g. ``k_messages`` for
+    the multi-message broadcast) into every instance's protocol factory and
+    budget rule.
     """
     spec = broadcast_spec(protocol)
     if seeds is None:
@@ -255,6 +289,7 @@ def run_broadcast_batch(
             f"{spec.label} requires collision detection; "
             f"run_broadcast_batch cannot model a collision-blind channel for it"
         )
+    options = _resolve_options(spec, options)
     params = params if params is not None else ProtocolParams.paper()
     items: list[BatchItem] = []
     for net, seed in zip(networks, seeds):
@@ -262,8 +297,12 @@ def run_broadcast_batch(
         items.append(
             BatchItem(
                 network=net,
-                protocol=spec.array_factory(message=message),
-                budget=budget if budget is not None else spec.budget_for(params, net, bound),
+                protocol=spec.array_factory(message=message, **options),
+                budget=(
+                    budget
+                    if budget is not None
+                    else spec.budget_for(params, net, bound, options)
+                ),
                 seed=seed,
                 collision_detection=collision_detection,
                 params=params,
@@ -286,6 +325,7 @@ def run_broadcast_batch(
                     f"after {item.budget} rounds",
                     undelivered,
                     sim=outcome.sim,
+                    budget=item.budget,
                 )
             )
             continue
@@ -301,6 +341,7 @@ def run_broadcast_batch(
                     n_bound=item.n_bound,
                     protocol=proto,
                     sim=outcome.sim,
+                    options=options,
                 )
             )
         )
@@ -319,6 +360,7 @@ def run_broadcast(
     n_bound: int | None = None,
     budget: int | None = None,
     trace: bool = False,
+    options: Mapping[str, Any] | None = None,
 ) -> Any:
     """Run one broadcast end-to-end on the chosen execution path.
 
@@ -326,13 +368,15 @@ def run_broadcast(
     ``engine="object"`` dispatches to the protocol's classic per-node
     driver.  Both paths produce the same result values on the same seed and
     raise :class:`~repro.errors.BroadcastFailure` on an undelivered run.
+    Per-run ``options`` (validated against the spec) reach the protocol on
+    either path — object drivers accept them as keyword arguments.
     """
     if engine == "object":
-        runner = broadcast_runner(protocol)
-        kwargs: dict[str, Any] = {}
+        spec = broadcast_spec(protocol)
+        kwargs: dict[str, Any] = _resolve_options(spec, options)
         if collision_detection is not None:
             kwargs["collision_detection"] = collision_detection
-        return runner(
+        return spec.runner(
             network,
             params,
             seed=seed,
@@ -356,6 +400,7 @@ def run_broadcast(
         n_bound=n_bound,
         budget=budget,
         trace=trace,
+        options=options,
     )
     if isinstance(result, BroadcastFailure):
         raise result

@@ -77,6 +77,7 @@ class RadioNetwork:
         self._source = source
         self._name = name
         self._adjacency: np.ndarray | None = None
+        self._adjacency_key: bytes | None = None
         self._layers: dict[int, tuple[tuple[int, ...], ...]] = {}
         self._diameter: int | None = None
         if n > 1:
@@ -113,14 +114,31 @@ class RadioNetwork:
         return sum(len(nbrs) for nbrs in self._neighbors) // 2
 
     def adjacency_matrix(self) -> np.ndarray:
-        """Dense symmetric 0/1 matrix, cached; the engine's channel kernel."""
+        """Dense symmetric 0/1 matrix, cached; the engine's channel kernel.
+
+        The returned array is the cache itself, marked read-only: a caller
+        mutating it would silently corrupt every later run (and the batch
+        engine's topology grouping), so writes raise ``ValueError``.
+        """
         if self._adjacency is None:
             mat = np.zeros((self._n, self._n), dtype=np.int8)
             for u, nbrs in enumerate(self._neighbors):
                 for v in nbrs:
                     mat[u, v] = 1
+            mat.setflags(write=False)
             self._adjacency = mat
         return self._adjacency
+
+    def adjacency_key(self) -> bytes:
+        """Cached ``adjacency_matrix().tobytes()`` — a hashable topology key.
+
+        The batch engine groups same-topology instances by this key; caching
+        it here keeps that grouping O(1) per item instead of re-serializing
+        O(n^2) matrix bytes for every instance.
+        """
+        if self._adjacency_key is None:
+            self._adjacency_key = self.adjacency_matrix().tobytes()
+        return self._adjacency_key
 
     # ------------------------------------------------------------------ #
     # Distances

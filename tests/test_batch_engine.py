@@ -188,6 +188,42 @@ class TestBatchEngine:
         operands = {id(e.adjacency_operand) for e in engine.engines}
         assert len(operands) == 1
 
+    def test_grouping_uses_the_cached_adjacency_key(self):
+        # BatchEngine must group by the network-cached key instead of
+        # re-serializing the O(n^2) matrix (twice) for every item: with the
+        # key warm, the matrix is touched exactly once — to build the one
+        # shared kernel operand — no matter how many items share the graph.
+        net = from_spec("grid", 9, seed=0)
+        net.adjacency_key()  # warm the cache
+        calls = {"matrix": 0}
+        original = net.adjacency_matrix
+
+        def counting_matrix():
+            calls["matrix"] += 1
+            return original()
+
+        net.adjacency_matrix = counting_matrix
+        items = [
+            BatchItem(
+                network=net,
+                protocol=DecayArrayProtocol(),
+                budget=10,
+                seed=s,
+                collision_detection=False,
+                params=FAST,
+            )
+            for s in range(5)
+        ]
+        BatchEngine(items)
+        assert calls["matrix"] == 1
+
+    def test_adjacency_mutation_raises_instead_of_corrupting_the_batch(self):
+        # Regression: the cached adjacency used to be writable, so a caller
+        # mutating it silently corrupted every later run and the grouping.
+        net = line(4)
+        with pytest.raises(ValueError, match="read-only"):
+            net.adjacency_matrix()[0, 1] = 0
+
     def test_batching_does_not_change_results(self):
         # Mixed topologies and seeds in one batch vs the same runs alone.
         nets = [from_spec("grid", 16, seed=0), from_spec("line", 12, seed=1),

@@ -72,6 +72,29 @@ def test_demo_engines_agree(capsys):
     assert array_out == object_out
 
 
+#: JSON keys shared by success and failure payloads — the one consumer
+#: schema both shapes must satisfy (plus the "status" discriminator).
+SHARED_JSON_KEYS = {
+    "protocol",
+    "engine",
+    "topology",
+    "n",
+    "edges",
+    "source_eccentricity",
+    "diameter",
+    "seed",
+    "messages",
+    "preset",
+    "collision_detection",
+    "status",
+    "budget",
+    "rounds_run",
+    "transmissions",
+    "deliveries",
+    "collisions",
+}
+
+
 def test_demo_json_output_is_machine_readable(capsys):
     rc = demo.main(
         ["--topology", "grid", "--n", "36", "--seed", "3", "--protocol", "ghk", "--json"]
@@ -82,9 +105,84 @@ def test_demo_json_output_is_machine_readable(capsys):
     assert payload["protocol"] == "ghk"
     assert payload["n"] == 36
     assert payload["rounds_to_delivery"] <= payload["budget"]
+    assert payload["rounds_run"] == payload["rounds_to_delivery"]
     assert len(payload["informed_rounds"]) == 36
     assert payload["wave_spacing"] >= 3
     assert "trace" not in payload
+    assert SHARED_JSON_KEYS <= set(payload)
+
+
+def test_demo_json_payload_shapes_share_one_schema(capsys):
+    # One consumer schema must parse both outcomes: the shared keys are
+    # present either way and "status" discriminates.
+    assert demo.main(["--topology", "line", "--n", "12", "--seed", "0", "--json"]) == 0
+    success = json.loads(capsys.readouterr().out)
+    rc = demo.main(
+        ["--topology", "line", "--n", "12", "--seed", "0", "--json", "--budget", "2"]
+    )
+    assert rc == 1
+    failure = json.loads(capsys.readouterr().out)
+    assert success["status"] == "delivered"
+    assert failure["status"] == "failed"
+    assert SHARED_JSON_KEYS <= set(success)
+    assert SHARED_JSON_KEYS <= set(failure)
+    assert failure["budget"] == 2
+    assert failure["rounds_run"] == 2
+    assert failure["undelivered"]
+    assert "uninformed" in failure["error"]
+
+
+def test_demo_budget_override_forces_failure(capsys):
+    rc = demo.main(["--topology", "line", "--n", "12", "--seed", "0", "--budget", "2"])
+    assert rc == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_demo_multimessage_pipelines_k_messages(capsys):
+    rc = demo.main(
+        ["--topology", "grid", "--n", "25", "--protocol", "multimessage",
+         "--messages", "4"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "multimessage: delivered to all 25 nodes" in out
+    assert "4 messages pipelined" in out
+
+
+def test_demo_multimessage_json_reports_k(capsys):
+    rc = demo.main(
+        ["--topology", "grid", "--n", "25", "--protocol", "multimessage",
+         "--messages", "4", "--json"]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["status"] == "delivered"
+    assert payload["k_messages"] == 4
+    assert payload["messages"] == 4
+    assert payload["wave_depth"] >= 1
+    assert SHARED_JSON_KEYS <= set(payload)
+
+
+def test_demo_multimessage_engines_agree(capsys):
+    args = ["--topology", "grid", "--n", "25", "--seed", "2", "--protocol",
+            "multimessage", "--messages", "3"]
+    assert demo.main(args + ["--engine", "array"]) == 0
+    array_out = capsys.readouterr().out
+    assert demo.main(args + ["--engine", "object"]) == 0
+    assert array_out == capsys.readouterr().out
+
+
+def test_demo_messages_flag_rejected_for_single_message_protocols(capsys):
+    rc = demo.main(["--topology", "line", "--n", "8", "--messages", "2"])
+    assert rc == 2
+    assert "does not support --messages" in capsys.readouterr().err
+
+
+def test_demo_rejects_non_positive_messages_or_budget():
+    with pytest.raises(SystemExit):
+        demo.main(["--messages", "0"])
+    with pytest.raises(SystemExit):
+        demo.main(["--budget", "0"])
 
 
 def test_demo_json_decay_reports_phases(capsys):
@@ -149,3 +247,8 @@ def test_demo_json_failure_reports_undelivered(monkeypatch, capsys):
     assert payload["status"] == "failed"
     assert payload["undelivered"] == [4, 5]
     assert "uninformed" in payload["error"]
+    # A raiser without sim/budget still produces the shared keys (as null),
+    # so the consumer schema never loses fields.
+    assert SHARED_JSON_KEYS <= set(payload)
+    assert payload["budget"] is None
+    assert payload["rounds_run"] is None

@@ -45,6 +45,25 @@ def test_broadcast_traces_are_bitwise_identical(family, seed, protocol):
     assert arr == obj  # the full result dataclasses match field-for-field
 
 
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("k", [1, 3])
+def test_multimessage_traces_are_bitwise_identical(family, seed, k):
+    # The k-message pipeline draws two kinds of coins (backoff and
+    # selection tie-breaks), so this covers a strictly richer coin
+    # discipline than the single-message protocols.
+    net = from_spec(family, 24, seed=seed)
+    obj = broadcast_runner("multimessage")(net, FAST, seed=seed, k_messages=k, trace=True)
+    arr = run_broadcast(
+        "multimessage", net, FAST, seed=seed, options={"k_messages": k}, trace=True
+    )
+    assert arr.rounds_to_delivery == obj.rounds_to_delivery
+    assert arr.informed_rounds == obj.informed_rounds
+    assert arr.message_rounds == obj.message_rounds
+    assert arr.sim.history == obj.sim.history
+    assert arr == obj  # the full result dataclasses match field-for-field
+
+
 @pytest.mark.parametrize("family", ("line", "grid", "gnp", "dumbbell"))
 @pytest.mark.parametrize("cd", [True, False])
 def test_beepwave_traces_are_bitwise_identical(family, cd):
@@ -119,3 +138,18 @@ def test_equivalence_holds_over_many_seeds(family, protocol):
         arr = run_broadcast(protocol, net, FAST, seed=seed)
         assert arr.rounds_to_delivery == obj.rounds_to_delivery, (family, protocol, seed)
         assert arr.informed_rounds == obj.informed_rounds
+
+
+@pytest.mark.statistical
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("k", [2, 8])
+def test_multimessage_equivalence_holds_over_many_seeds(family, k):
+    for seed in range(10):
+        net = from_spec(family, 32, seed=seed)
+        obj = broadcast_runner("multimessage")(net, FAST, seed=seed, k_messages=k)
+        arr = run_broadcast(
+            "multimessage", net, FAST, seed=seed, options={"k_messages": k}
+        )
+        assert arr.rounds_to_delivery == obj.rounds_to_delivery, (family, k, seed)
+        assert arr.informed_rounds == obj.informed_rounds
+        assert arr.message_rounds == obj.message_rounds

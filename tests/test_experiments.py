@@ -6,14 +6,17 @@ import pytest
 
 from repro.errors import AnalysisError
 from repro.experiments import (
+    DEFAULT_K_VALUES,
     DEFAULT_TOPOLOGIES,
     bench_engines,
     merge_records,
     sweep_broadcast,
+    sweep_multimessage,
     write_bench,
 )
 from repro.experiments.broadcast_bench import main
 from repro.experiments.engine_bench import main as engine_main
+from repro.experiments.multimessage_bench import main as multimessage_main
 
 
 class TestSweep:
@@ -127,6 +130,55 @@ class TestMergeRecords:
         with pytest.raises(AnalysisError, match="at least one"):
             merge_records([])
 
+    HEADER = {
+        "bench": "broadcast",
+        "paper": "conf_podc_GhaffariHK13",
+        "preset": "fast",
+        "seeds": 2,
+        "protocols": ["decay", "ghk"],
+        "topologies": ["line"],
+    }
+
+    def test_merges_records_with_matching_headers(self):
+        a = dict(self.HEADER, n=8, results=[{"n": 8}])
+        b = dict(self.HEADER, n=16, results=[{"n": 16}])
+        merged = merge_records([a, b])
+        assert merged["n"] == [8, 16]
+        assert merged["preset"] == "fast"
+        assert [entry["n"] for entry in merged["results"]] == [8, 16]
+
+    @pytest.mark.parametrize(
+        ("key", "other"),
+        [
+            ("preset", "paper"),
+            ("seeds", 30),
+            ("protocols", ["decay"]),
+            ("topologies", ["line", "grid"]),
+        ],
+    )
+    def test_mismatched_headers_rejected(self, key, other):
+        # Regression: the merged record used to take the first record's
+        # header even when sub-records disagreed, silently misdescribing
+        # the merged data.
+        a = dict(self.HEADER, n=8, results=[])
+        b = dict(self.HEADER, n=16, results=[], **{key: other})
+        with pytest.raises(AnalysisError, match=f"mismatched {key!r}"):
+            merge_records([a, b])
+
+    def test_mismatch_detected_beyond_the_first_pair(self):
+        a = dict(self.HEADER, n=8, results=[])
+        b = dict(self.HEADER, n=16, results=[])
+        c = dict(self.HEADER, n=32, results=[], preset="paper")
+        with pytest.raises(AnalysisError, match="record 2"):
+            merge_records([a, b, c])
+
+    def test_missing_header_key_counts_as_mismatch(self):
+        a = dict(self.HEADER, n=8, results=[])
+        b = dict(self.HEADER, n=16, results=[])
+        del b["preset"]
+        with pytest.raises(AnalysisError, match="mismatched 'preset'"):
+            merge_records([a, b])
+
 
 class TestEngineBench:
     @pytest.fixture(scope="class")
@@ -191,3 +243,102 @@ class TestEngineBench:
         rc = engine_main(["--n", "0", "--out", str(tmp_path / "b.json")])
         assert rc == 2
         assert "bench error" in capsys.readouterr().err
+
+
+class TestMultiMessageBench:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return sweep_multimessage(
+            topologies=("line", "grid"), k_values=(1, 2), n=16, seeds=3, preset="fast"
+        )
+
+    def test_record_header(self, record):
+        assert record["bench"] == "multimessage"
+        assert record["paper"] == "conf_podc_GhaffariHK13"
+        assert record["n"] == 16
+        assert record["seeds"] == 3
+        assert record["k_values"] == [1, 2]
+        assert record["protocols"] == ["multimessage"]
+        assert record["topologies"] == ["line", "grid"]
+        assert "created_utc" in record
+
+    def test_one_entry_per_family_k_pair(self, record):
+        keys = {(e["topology"], e["k_messages"]) for e in record["results"]}
+        assert keys == {(t, k) for t in ("line", "grid") for k in (1, 2)}
+
+    def test_entries_aggregate_the_full_batch(self, record):
+        for entry in record["results"]:
+            assert entry["protocol"] == "multimessage"
+            assert entry["runs"] == 3
+            assert entry["failures"] == 0
+            rounds = entry["rounds"]
+            assert rounds["min"] <= rounds["median"] <= rounds["max"]
+            assert len(entry["rounds_all"]) == 3
+            assert entry["transmissions_mean"] > 0
+
+    def test_k_above_one_entries_carry_pipelining_speedup(self, record):
+        for entry in record["results"]:
+            if entry["k_messages"] == 1:
+                assert "pipelining_speedup" not in entry
+            else:
+                assert entry["pipelining_speedup"] > 0
+
+    def test_default_axes(self):
+        assert DEFAULT_K_VALUES == (1, 4, 16)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError, match="at least one node"):
+            sweep_multimessage(n=0)
+        with pytest.raises(AnalysisError, match="at least one seed"):
+            sweep_multimessage(seeds=0)
+        with pytest.raises(AnalysisError, match="at least one k"):
+            sweep_multimessage(k_values=())
+        with pytest.raises(AnalysisError, match="positive integers"):
+            sweep_multimessage(k_values=(1, 0))
+        with pytest.raises(AnalysisError, match="unknown topologies"):
+            sweep_multimessage(topologies=("moebius",))
+        with pytest.raises(AnalysisError, match="unknown preset"):
+            sweep_multimessage(preset="slow")
+        with pytest.raises(AnalysisError, match="cannot build"):
+            sweep_multimessage(topologies=("ring",), n=2, seeds=1)
+
+    def test_cli_writes_valid_json_record(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_multimessage.json"
+        rc = multimessage_main(
+            ["--n", "12", "--seeds", "2", "--k", "1", "2", "--topologies", "line",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        record = json.loads(out.read_text())
+        assert record["bench"] == "multimessage"
+        assert len(record["results"]) == 2
+        stdout = capsys.readouterr().out
+        assert "pipelining-speedup" in stdout
+        assert str(out) in stdout
+
+    def test_cli_multi_size_merges(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_multimessage.json"
+        rc = multimessage_main(
+            ["--n", "12", "16", "--seeds", "2", "--k", "1", "--topologies", "line",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        record = json.loads(out.read_text())
+        assert record["n"] == [12, 16]
+        assert [e["n"] for e in record["results"]] == [12, 16]
+
+    def test_cli_reports_sweep_errors(self, tmp_path, capsys):
+        rc = multimessage_main(["--n", "0", "--out", str(tmp_path / "x.json")])
+        assert rc == 2
+        assert "sweep error" in capsys.readouterr().err
+
+    def test_pipelining_speedup_is_k_order_independent(self):
+        # Regression: the baseline used to be picked up only if k=1 was
+        # processed first, so a reordered --k axis silently dropped the
+        # record's headline metric.
+        record = sweep_multimessage(
+            topologies=("line",), k_values=(2, 1), n=12, seeds=2, preset="fast"
+        )
+        by_k = {entry["k_messages"]: entry for entry in record["results"]}
+        assert "pipelining_speedup" in by_k[2]
+        assert "pipelining_speedup" not in by_k[1]

@@ -94,6 +94,32 @@ class TestDerivedQuantities:
         with pytest.raises(ConfigurationError):
             ProtocolParams.fast().ghk_broadcast_rounds(-1, 64)
 
+    def test_multi_message_budget_grows_linearly_in_k(self):
+        # O(D + k log n + log^2 n): the k term is linear, everything else
+        # fixed, so budget deltas per message are constant.
+        params = ProtocolParams.fast()
+        budgets = [params.ghk_multi_message_rounds(14, 64, k) for k in (1, 2, 3, 4)]
+        assert budgets[0] < budgets[1] < budgets[2] < budgets[3]
+        deltas = [b - a for a, b in zip(budgets, budgets[1:])]
+        assert len(set(deltas)) == 1
+
+    def test_multi_message_budget_monotone_in_diameter_and_n(self):
+        params = ProtocolParams.fast()
+        assert params.ghk_multi_message_rounds(20, 64, 4) > params.ghk_multi_message_rounds(
+            10, 64, 4
+        )
+        assert params.ghk_multi_message_rounds(10, 256, 4) > params.ghk_multi_message_rounds(
+            10, 64, 4
+        )
+
+    def test_multi_message_budget_rejects_bad_arguments(self):
+        params = ProtocolParams.fast()
+        with pytest.raises(ConfigurationError, match="diameter"):
+            params.ghk_multi_message_rounds(-1, 64, 4)
+        for bad_k in (0, -1, 1.5, "4"):
+            with pytest.raises(ConfigurationError, match="k_messages"):
+                params.ghk_multi_message_rounds(10, 64, bad_k)
+
 
 POSITIVE_FIELDS = [
     "decay_phase_factor",
@@ -105,6 +131,7 @@ POSITIVE_FIELDS = [
     "fec_expansion",
     "batch_size_factor",
     "ghk_backoff_factor",
+    "multi_message_pipeline_factor",
 ]
 
 

@@ -67,6 +67,29 @@ class TestRadioNetwork:
         assert net.bfs_layers(2) == ((2,), (1, 3), (0, 4))
         assert net.eccentricity(2) == 2
 
+    def test_adjacency_matrix_is_read_only(self):
+        # The cached matrix is handed out directly; a writable cache would
+        # let one careless caller corrupt every later run and the batch
+        # engine's topology grouping.
+        net = line(5)
+        mat = net.adjacency_matrix()
+        with pytest.raises(ValueError, match="read-only"):
+            mat[0, 1] = 0
+        with pytest.raises(ValueError, match="read-only"):
+            net.adjacency_matrix()[:] = 1
+        # The cache itself is intact.
+        assert net.adjacency_matrix()[0, 1] == 1
+        assert net.adjacency_matrix()[0, 3] == 0
+
+    def test_adjacency_key_matches_matrix_bytes_and_is_cached(self):
+        net = line(5)
+        assert net.adjacency_key() == net.adjacency_matrix().tobytes()
+        assert net.adjacency_key() is net.adjacency_key()  # cached, not rebuilt
+
+    def test_adjacency_key_distinguishes_topologies(self):
+        assert line(5).adjacency_key() == line(5).adjacency_key()
+        assert line(5).adjacency_key() != ring(5).adjacency_key()
+
 
 class TestGenerators:
     @pytest.mark.parametrize(
@@ -88,6 +111,22 @@ class TestGenerators:
         net = grid2d(n=11)
         assert_valid(net)
         assert net.n == 11
+
+    def test_grid_truncation_stays_connected_for_every_small_n(self):
+        # Property sweep: row-major truncation must keep the grid connected
+        # (and exactly n nodes) for every size, not just the perfect squares.
+        for n in range(1, 65):
+            net = grid2d(n=n)
+            assert net.n == n, n
+            assert sum(len(layer) for layer in net.bfs_layers()) == n, n
+
+    @pytest.mark.parametrize("n", list(range(4, 21)) + [33, 34, 63, 64])
+    def test_from_spec_dumbbell_has_exactly_n_nodes(self, n):
+        # Property sweep over odd and even n: the bridge-length arithmetic
+        # must land on exactly n nodes either way.
+        net = from_spec("dumbbell", n)
+        assert_valid(net)
+        assert net.n == n
 
     def test_grid_rejects_ambiguous_or_missing_dims(self):
         with pytest.raises(TopologyError, match="not both"):
