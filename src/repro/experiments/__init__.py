@@ -9,7 +9,8 @@ baseline against the paper's collision-detection broadcast;
 against the array-native batch engine over the same sweep;
 :mod:`repro.experiments.multimessage_bench` sweeps the k-message pipeline
 across message counts and measures whether pipelining beats k sequential
-broadcasts.
+broadcasts; :mod:`repro.experiments.scale_bench` compares the dense and
+sparse channel backends across network sizes (rounds/sec and peak memory).
 """
 
 __all__ = [
@@ -17,7 +18,9 @@ __all__ = [
     "DEFAULT_PROTOCOLS",
     "DEFAULT_TOPOLOGIES",
     "bench_engines",
+    "bench_scale",
     "merge_records",
+    "resolve_params",
     "sweep_broadcast",
     "sweep_multimessage",
     "write_bench",
@@ -27,6 +30,7 @@ _BROADCAST_EXPORTS = {
     "DEFAULT_PROTOCOLS",
     "DEFAULT_TOPOLOGIES",
     "merge_records",
+    "resolve_params",
     "sweep_broadcast",
     "write_bench",
 }
@@ -48,4 +52,8 @@ def __getattr__(name: str):
         from repro.experiments import engine_bench
 
         return engine_bench.bench_engines
+    if name == "bench_scale":
+        from repro.experiments import scale_bench
+
+        return scale_bench.bench_scale
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

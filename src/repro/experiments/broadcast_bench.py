@@ -36,11 +36,29 @@ __all__ = [
     "DEFAULT_PROTOCOLS",
     "DEFAULT_TOPOLOGIES",
     "MERGE_HEADER_KEYS",
+    "resolve_params",
     "sweep_broadcast",
     "merge_records",
     "write_bench",
     "main",
 ]
+
+
+def resolve_params(preset: str, backend: str = "auto") -> ProtocolParams:
+    """Build a sweep's :class:`ProtocolParams` from a preset + channel backend.
+
+    Shared by every experiments CLI so they all validate and thread the
+    backend choice the same way; raises :class:`AnalysisError` on unknown
+    names before any simulation runs.
+    """
+    if preset not in ("paper", "fast"):
+        raise AnalysisError(f"unknown preset {preset!r}; choose paper or fast")
+    if backend not in ("auto", "dense", "sparse"):
+        raise AnalysisError(
+            f"unknown channel backend {backend!r}; choose auto, dense or sparse"
+        )
+    params = ProtocolParams.paper() if preset == "paper" else ProtocolParams.fast()
+    return params.with_overrides(channel_backend=backend)
 
 #: The full comparison suite from the ISSUE (star is omitted by default:
 #: with a hub source it is a one-round broadcast for every protocol).
@@ -78,6 +96,7 @@ def sweep_broadcast(
     n: int = 64,
     seeds: int = 30,
     preset: str = "fast",
+    backend: str = "auto",
 ) -> dict:
     """Run the comparison sweep and return the bench record as a dict.
 
@@ -88,8 +107,7 @@ def sweep_broadcast(
         raise AnalysisError(f"need at least one node, got n={n}")
     if seeds < 1:
         raise AnalysisError(f"need at least one seed, got seeds={seeds}")
-    if preset not in ("paper", "fast"):
-        raise AnalysisError(f"unknown preset {preset!r}; choose paper or fast")
+    params = resolve_params(preset, backend)
     if protocols is None:
         protocols = DEFAULT_PROTOCOLS
     unknown = [t for t in topologies if t not in TOPOLOGY_NAMES]
@@ -100,7 +118,6 @@ def sweep_broadcast(
         raise AnalysisError(
             f"unknown protocols {unknown}; choose from {runners.BROADCAST_PROTOCOL_NAMES}"
         )
-    params = ProtocolParams.paper() if preset == "paper" else ProtocolParams.fast()
 
     results = []
     for family in topologies:
@@ -159,6 +176,7 @@ def sweep_broadcast(
         "paper": "conf_podc_GhaffariHK13",
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "preset": preset,
+        "channel_backend": backend,
         "n": n,
         "seeds": seeds,
         "protocols": list(protocols),
@@ -174,6 +192,7 @@ MERGE_HEADER_KEYS: tuple[str, ...] = (
     "bench",
     "paper",
     "preset",
+    "channel_backend",
     "seeds",
     "protocols",
     "topologies",
@@ -232,6 +251,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seeds", type=int, default=30, help="seeds per (family, protocol)")
     parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
     parser.add_argument(
+        "--backend",
+        choices=("auto", "dense", "sparse"),
+        default="auto",
+        help="channel-kernel backend (auto picks by topology density; "
+        "results are identical either way)",
+    )
+    parser.add_argument(
         "--topologies",
         nargs="+",
         default=list(DEFAULT_TOPOLOGIES),
@@ -260,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
                     n=n,
                     seeds=args.seeds,
                     preset=args.preset,
+                    backend=args.backend,
                 )
                 for n in args.n
             ]

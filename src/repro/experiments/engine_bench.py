@@ -25,8 +25,7 @@ import time
 from datetime import datetime, timezone
 
 from repro.errors import AnalysisError, BroadcastFailure, TopologyError
-from repro.experiments.broadcast_bench import DEFAULT_PROTOCOLS
-from repro.params import ProtocolParams
+from repro.experiments.broadcast_bench import DEFAULT_PROTOCOLS, resolve_params
 from repro.sim import runners
 from repro.sim.runners import broadcast_runner, broadcast_spec, run_broadcast_batch
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
@@ -51,6 +50,7 @@ def bench_engines(
     topology: str = "grid",
     protocols: tuple[str, ...] | None = None,
     preset: str = "fast",
+    backend: str = "auto",
 ) -> dict:
     """Time the object and array paths over the same sweep; return the record.
 
@@ -63,8 +63,7 @@ def bench_engines(
         raise AnalysisError(f"need at least one node, got n={n}")
     if seeds < 1:
         raise AnalysisError(f"need at least one seed, got seeds={seeds}")
-    if preset not in ("paper", "fast"):
-        raise AnalysisError(f"unknown preset {preset!r}; choose paper or fast")
+    params = resolve_params(preset, backend)
     if topology not in TOPOLOGY_NAMES:
         raise AnalysisError(
             f"unknown topology {topology!r}; choose from {TOPOLOGY_NAMES}"
@@ -76,7 +75,6 @@ def bench_engines(
         raise AnalysisError(
             f"unknown protocols {unknown}; choose from {runners.BROADCAST_PROTOCOL_NAMES}"
         )
-    params = ProtocolParams.paper() if preset == "paper" else ProtocolParams.fast()
     try:
         nets = [from_spec(topology, n, seed=seed) for seed in range(seeds)]
     except TopologyError as exc:
@@ -144,6 +142,7 @@ def bench_engines(
         "paper": "conf_podc_GhaffariHK13",
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "preset": preset,
+        "channel_backend": backend,
         "topology": topology,
         "n": n,
         "seeds": seeds,
@@ -169,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
         help=f"protocols to time (default: {' '.join(DEFAULT_PROTOCOLS)})",
     )
     parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "dense", "sparse"),
+        default="auto",
+        help="channel-kernel backend for the array path (results identical)",
+    )
     parser.add_argument("--out", default="BENCH_engine.json", help="output JSON path")
     parser.add_argument(
         "--max-seconds",
@@ -185,6 +190,7 @@ def main(argv: list[str] | None = None) -> int:
             topology=args.topology,
             protocols=tuple(args.protocols),
             preset=args.preset,
+            backend=args.backend,
         )
     except AnalysisError as exc:
         print(f"bench error: {exc}", file=sys.stderr)

@@ -36,9 +36,9 @@ from repro.experiments.broadcast_bench import (
     DEFAULT_TOPOLOGIES,
     _summary,
     merge_records,
+    resolve_params,
     write_bench,
 )
-from repro.params import ProtocolParams
 from repro.sim.runners import run_broadcast_batch
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
@@ -55,6 +55,7 @@ def sweep_multimessage(
     n: int = 64,
     seeds: int = 20,
     preset: str = "fast",
+    backend: str = "auto",
 ) -> dict:
     """Run the k-message sweep and return the bench record as a dict.
 
@@ -65,8 +66,7 @@ def sweep_multimessage(
         raise AnalysisError(f"need at least one node, got n={n}")
     if seeds < 1:
         raise AnalysisError(f"need at least one seed, got seeds={seeds}")
-    if preset not in ("paper", "fast"):
-        raise AnalysisError(f"unknown preset {preset!r}; choose paper or fast")
+    params = resolve_params(preset, backend)
     if not k_values:
         raise AnalysisError("need at least one k value")
     bad_k = [k for k in k_values if not isinstance(k, int) or k < 1]
@@ -75,7 +75,6 @@ def sweep_multimessage(
     unknown = [t for t in topologies if t not in TOPOLOGY_NAMES]
     if unknown:
         raise AnalysisError(f"unknown topologies {unknown}; choose from {TOPOLOGY_NAMES}")
-    params = ProtocolParams.paper() if preset == "paper" else ProtocolParams.fast()
 
     results = []
     for family in topologies:
@@ -146,6 +145,7 @@ def sweep_multimessage(
         "paper": "conf_podc_GhaffariHK13",
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "preset": preset,
+        "channel_backend": backend,
         "n": n,
         "seeds": seeds,
         "protocols": ["multimessage"],
@@ -179,6 +179,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
     parser.add_argument(
+        "--backend",
+        choices=("auto", "dense", "sparse"),
+        default="auto",
+        help="channel-kernel backend (results identical either way)",
+    )
+    parser.add_argument(
         "--topologies",
         nargs="+",
         default=list(DEFAULT_TOPOLOGIES),
@@ -199,6 +205,7 @@ def main(argv: list[str] | None = None) -> int:
                     n=n,
                     seeds=args.seeds,
                     preset=args.preset,
+                    backend=args.backend,
                 )
                 for n in args.n
             ]

@@ -97,6 +97,21 @@ class ProtocolParams:
     #: fraction of the time, so the per-message slot cost is a small
     #: constant number of cycles — this is that hidden constant.
     multi_message_pipeline_factor: float = 3.0
+    #: Channel-kernel backend: ``"auto"`` picks dense or sparse per topology
+    #: by density threshold (below), ``"dense"``/``"sparse"`` force one path.
+    #: The two backends are bitwise-identical on every run (same traces,
+    #: same round counts); the choice only affects speed and memory, so it
+    #: lives here as an execution knob, not a protocol constant.
+    channel_backend: str = "auto"
+    #: In ``"auto"`` mode, use the sparse CSR backend when the adjacency
+    #: density ``2·edges / n²`` is at or below this threshold; denser graphs
+    #: keep the BLAS matmul, which wins when most of the matrix is nonzero.
+    sparse_density_threshold: float = 0.25
+    #: In ``"auto"`` mode, never go sparse below this network size: small
+    #: matmuls are so cheap (especially batched) that the CSR kernel's
+    #: fixed gather/bincount overhead loses even on very sparse graphs —
+    #: measured crossover is n ≈ 200–1000 depending on family and batch.
+    sparse_min_n: int = 1024
 
     def __post_init__(self) -> None:
         # Invalid constants must fail at construction, not deep inside a
@@ -282,4 +297,19 @@ class ProtocolParams:
             raise ConfigurationError(
                 "wave_spacing must be an integer >= 3 (adjacent pipelined waves "
                 f"interfere below 3), got {self.wave_spacing!r}"
+            )
+        if self.channel_backend not in ("auto", "dense", "sparse"):
+            raise ConfigurationError(
+                "channel_backend must be 'auto', 'dense' or 'sparse', "
+                f"got {self.channel_backend!r}"
+            )
+        if not 0.0 <= self.sparse_density_threshold <= 1.0:
+            raise ConfigurationError(
+                "sparse_density_threshold must be in [0, 1], "
+                f"got {self.sparse_density_threshold!r}"
+            )
+        if not isinstance(self.sparse_min_n, int) or self.sparse_min_n < 0:
+            raise ConfigurationError(
+                "sparse_min_n must be a non-negative integer, "
+                f"got {self.sparse_min_n!r}"
             )

@@ -40,12 +40,16 @@ from repro.sim.core import (
     BroadcastArrayProtocol,
     ChannelRound,
     CoinDeck,
+    DenseOperand,
     ObjectProtocolAdapter,
     RoundPlan,
+    SparseOperand,
     array_protocol_class,
     available_array_protocols,
     register_array_protocol,
     resolve_channel,
+    resolve_channel_backend,
+    select_kernel_operand,
 )
 from repro.sim.decay import DecayArrayProtocol, DecayProtocol, DecayResult, run_decay
 from repro.sim.engine import Engine, RoundStats, SimResult, run_until_all_informed
@@ -120,6 +124,7 @@ __all__ = [
     "DecayArrayProtocol",
     "DecayProtocol",
     "DecayResult",
+    "DenseOperand",
     "Engine",
     "Feedback",
     "FeedbackKind",
@@ -137,6 +142,7 @@ __all__ = [
     "RoundStats",
     "SeededStreams",
     "SimResult",
+    "SparseOperand",
     "TOPOLOGY_NAMES",
     "WAVE_PULSE",
     "array_protocol_class",
@@ -158,6 +164,7 @@ __all__ = [
     "register_broadcast_spec",
     "register_protocol",
     "resolve_channel",
+    "resolve_channel_backend",
     "ring",
     "run_beep_wave",
     "run_broadcast",
@@ -166,6 +173,7 @@ __all__ = [
     "run_ghk_broadcast",
     "run_multi_message",
     "run_until_all_informed",
+    "select_kernel_operand",
     "star",
     "stream",
     "unit_disk",

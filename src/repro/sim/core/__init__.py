@@ -29,10 +29,21 @@ from repro.sim.core.array_protocol import (
     available_array_protocols,
     register_array_protocol,
 )
-from repro.sim.core.batch import ArrayEngine, BatchEngine, BatchItem, BatchOutcome
+from repro.sim.core.batch import (
+    ArrayEngine,
+    BatchEngine,
+    BatchItem,
+    BatchOutcome,
+    resolve_channel_backend,
+    select_kernel_operand,
+)
 from repro.sim.core.channel import (
     ChannelRound,
+    DenseOperand,
+    KernelOperand,
+    SparseOperand,
     adjacency_operand,
+    as_kernel_operand,
     resolve_channel,
     round_stats,
 )
@@ -48,14 +59,20 @@ __all__ = [
     "BroadcastArrayProtocol",
     "ChannelRound",
     "CoinDeck",
+    "DenseOperand",
+    "KernelOperand",
     "ObjectProtocolAdapter",
     "RoundPlan",
     "RoundStats",
     "SimResult",
+    "SparseOperand",
     "adjacency_operand",
     "array_protocol_class",
+    "as_kernel_operand",
     "available_array_protocols",
     "register_array_protocol",
     "resolve_channel",
+    "resolve_channel_backend",
     "round_stats",
+    "select_kernel_operand",
 ]

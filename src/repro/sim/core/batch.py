@@ -9,10 +9,19 @@ the same early-stop contract.
 
 :class:`BatchEngine` steps many *independent* instances — any mix of
 (seed × topology × protocol) — in lock-step within one process.  Instances
-that share a topology are grouped so their channel resolution collapses
-into a single ``(batch, n) @ (n, n)`` matmul per round, and every instance
-exits the batch individually the moment it completes or exhausts its round
-budget, so one slow straggler never costs the finished instances anything.
+that share a topology (and channel backend) are grouped so their channel
+resolution collapses into a single batched kernel call per round — a
+``(batch, n) @ (n, n)`` matmul on the dense backend, one fused edge-list
+segment sum on the sparse one — and every instance exits the batch
+individually the moment it completes or exhausts its round budget, so one
+slow straggler never costs the finished instances anything.
+
+Backend selection (:func:`resolve_channel_backend`) is per run:
+``params.channel_backend`` forces ``"dense"`` or ``"sparse"``, and the
+default ``"auto"`` picks sparse whenever the graph's adjacency density is
+at or below ``params.sparse_density_threshold``.  The two backends are
+bitwise-identical in every observable (traces, round counts, channel
+totals), so the choice is purely a speed/memory knob.
 """
 
 from __future__ import annotations
@@ -28,7 +37,10 @@ from repro.params import ProtocolParams
 from repro.sim.core.array_protocol import ArrayContext, ArrayProtocol, RoundPlan
 from repro.sim.core.channel import (
     ChannelRound,
-    adjacency_operand,
+    DenseOperand,
+    KernelOperand,
+    SparseOperand,
+    as_kernel_operand,
     resolve_channel,
     round_stats,
 )
@@ -36,7 +48,47 @@ from repro.sim.core.stats import RoundStats, SimResult
 from repro.sim.rng import SeededStreams
 from repro.sim.topology import RadioNetwork
 
-__all__ = ["ArrayEngine", "BatchEngine", "BatchItem", "BatchOutcome"]
+__all__ = [
+    "ArrayEngine",
+    "BatchEngine",
+    "BatchItem",
+    "BatchOutcome",
+    "resolve_channel_backend",
+    "select_kernel_operand",
+]
+
+
+def resolve_channel_backend(network: RadioNetwork, params: ProtocolParams) -> str:
+    """The concrete channel backend (``"dense"``/``"sparse"``) for one run.
+
+    ``params.channel_backend`` wins when explicit; ``"auto"`` goes sparse
+    only for networks of at least ``params.sparse_min_n`` nodes whose
+    adjacency density ``2·edges / n²`` is at or below the params threshold
+    — large sparse topologies get the Θ(m)-per-round CSR kernel, while
+    small or dense ones keep the BLAS matmul (which wins below the
+    crossover even on sparse graphs).  Both backends are bitwise-identical
+    in results.
+    """
+    backend = params.channel_backend
+    if backend != "auto":
+        return backend
+    if network.n < params.sparse_min_n:
+        return "dense"
+    density = (2 * network.num_edges) / (network.n * network.n)
+    return "sparse" if density <= params.sparse_density_threshold else "dense"
+
+
+def select_kernel_operand(
+    network: RadioNetwork, params: ProtocolParams
+) -> KernelOperand:
+    """Build the kernel operand :func:`resolve_channel_backend` picks.
+
+    The sparse path never touches :meth:`RadioNetwork.adjacency_matrix`,
+    so choosing it keeps the whole run free of n² allocations.
+    """
+    if resolve_channel_backend(network, params) == "sparse":
+        return SparseOperand(*network.csr())
+    return DenseOperand(network.adjacency_matrix())
 
 
 class ArrayEngine:
@@ -52,7 +104,7 @@ class ArrayEngine:
         params: ProtocolParams | None = None,
         n_bound: int | None = None,
         trace: bool = False,
-        kernel_operand: np.ndarray | None = None,
+        kernel_operand: KernelOperand | np.ndarray | None = None,
     ):
         if n_bound is not None and n_bound < network.n:
             raise SimulationError(
@@ -66,12 +118,13 @@ class ArrayEngine:
         self.trace = trace
         self.streams = SeededStreams(seed, network.n)
         # A caller that already holds the kernel operand for this topology
-        # (the batch engine sharing one per group) passes it in; otherwise
-        # build our own.
-        self._adj_f = (
-            kernel_operand
+        # (the batch engine sharing one per group) passes it in — a raw
+        # adjacency matrix means dense; otherwise select dense or sparse
+        # per the params' backend policy and the graph's density.
+        self._operand = (
+            as_kernel_operand(kernel_operand)
             if kernel_operand is not None
-            else adjacency_operand(network.adjacency_matrix())
+            else select_kernel_operand(network, self.params)
         )
         self._round = 0
         self._total_transmissions = 0
@@ -96,9 +149,14 @@ class ArrayEngine:
         return self._round
 
     @property
-    def adjacency_operand(self) -> np.ndarray:
-        """The kernel operand (shared across a batch group's engines)."""
-        return self._adj_f
+    def kernel_operand(self) -> KernelOperand:
+        """The channel-kernel operand (shared across a batch group's engines)."""
+        return self._operand
+
+    @property
+    def backend(self) -> str:
+        """Which channel backend this engine runs on (``"dense"``/``"sparse"``)."""
+        return self._operand.backend
 
     # ------------------------------------------------------------------ #
     # Round execution
@@ -117,11 +175,8 @@ class ArrayEngine:
                 f"round plan masks must have shape ({self.network.n},), got "
                 f"transmit {plan.transmit.shape} and listen {plan.listen.shape}"
             )
-        if plan.transmit.dot(plan.listen):
-            raise SimulationError(
-                f"round plan marks nodes as both transmitting and listening in "
-                f"round {self._round} (radios are half-duplex)"
-            )
+        # Disjointness of transmit/listen (half-duplex) is enforced by the
+        # channel kernel itself, for every caller — no engine-side copy.
         self._plan = plan
         return plan
 
@@ -146,7 +201,7 @@ class ArrayEngine:
     def step(self) -> RoundStats | None:
         """Execute one round; returns its record only when tracing."""
         plan = self.begin_round()
-        channel = resolve_channel(self._adj_f, plan.transmit, plan.listen)
+        channel = resolve_channel(self._operand, plan.transmit, plan.listen)
         return self.complete_round(channel)
 
     def run(
@@ -240,19 +295,22 @@ class BatchEngine:
                     f"budget must be non-negative, got {item.budget}"
                 )
         # Group same-topology instances so each group's channel resolution
-        # is one batched matmul; one kernel operand is built per *distinct*
-        # topology and shared by every engine in its group.  The grouping
-        # key is cached on the network, so repeated items cost O(1) here
-        # rather than an O(n^2) serialization each.
-        self._groups: dict[bytes, list[int]] = {}
-        operands: dict[bytes, np.ndarray] = {}
-        keys: list[bytes] = []
+        # is one batched kernel call; one kernel operand is built per
+        # *distinct* (topology, backend) pair and shared by every engine in
+        # its group — items whose params pick different backends must not
+        # share an operand.  The topology key is cached on the network, so
+        # repeated items cost O(1) here rather than a re-serialization each.
+        self._groups: dict[tuple[bytes, str], list[int]] = {}
+        operands: dict[tuple[bytes, str], KernelOperand] = {}
+        keys: list[tuple[bytes, str]] = []
         for i, item in enumerate(self.items):
-            key = item.network.adjacency_key()
+            params = item.params if item.params is not None else ProtocolParams.paper()
+            backend = resolve_channel_backend(item.network, params)
+            key = (item.network.adjacency_key(), backend)
             keys.append(key)
             self._groups.setdefault(key, []).append(i)
             if key not in operands:
-                operands[key] = adjacency_operand(item.network.adjacency_matrix())
+                operands[key] = select_kernel_operand(item.network, params)
         self.engines = [
             ArrayEngine(
                 item.network,
@@ -294,14 +352,28 @@ class BatchEngine:
                 if not active:
                     continue
                 if len(active) == 1:
-                    self.engines[active[0]].step()
+                    try:
+                        self.engines[active[0]].step()
+                    except SimulationError as exc:
+                        # Same item-naming courtesy as the fused path below.
+                        raise SimulationError(
+                            f"{exc} (item {active[0]})"
+                        ) from None
                     continue
                 plans = [self.engines[i].begin_round() for i in active]
                 transmit = np.stack([p.transmit for p in plans])
                 listen = np.stack([p.listen for p in plans])
-                channel = resolve_channel(
-                    self.engines[active[0]].adjacency_operand, transmit, listen
-                )
+                try:
+                    channel = resolve_channel(
+                        self.engines[active[0]].kernel_operand, transmit, listen
+                    )
+                except SimulationError as exc:
+                    # The kernel reports positions in the fused stack; map
+                    # them back to this batch's item indices so the culprit
+                    # is the caller's item, not a row of the live subset.
+                    raise SimulationError(
+                        f"{exc} (batch rows are items {active}, in order)"
+                    ) from None
                 for row, i in enumerate(active):
                     self.engines[i].complete_round(channel.row(row))
             for i in list(live):

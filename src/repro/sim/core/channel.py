@@ -2,18 +2,38 @@
 
 One round of the single-hop radio channel is three array operations:
 
-* ``counts = transmit @ A`` — for every node, how many of its neighbours
-  transmitted this round (``A`` is the symmetric 0/1 adjacency matrix);
+* ``counts`` — for every node, how many of its neighbours transmitted this
+  round;
 * outcome masks — a listener with count 0 hears silence, with count 1
   receives the unique neighbour's transmission, with count >= 2 suffers a
   collision;
-* ``senders = (transmit * ids) @ A`` — for a listener with count 1 the
-  id-weighted count *is* the id of its unique transmitting neighbour.
+* ``senders`` — for a listener with count 1 the id-weighted neighbour
+  count *is* the id of its unique transmitting neighbour.
+
+Two interchangeable **kernel operands** implement those reductions:
+
+* :class:`DenseOperand` — the symmetric 0/1 adjacency as a ``float64``
+  matrix; counts are one BLAS matmul (``transmit @ A``).  Θ(n²) memory and
+  time per round regardless of the edge count.
+* :class:`SparseOperand` — the same graph as CSR neighbour arrays
+  (``indptr``/``indices``); counts are a gather plus one segment-sum
+  (``np.bincount`` over the edge list).  Θ(m) memory and time per round,
+  which is what lets the simulator past the dense-matmul wall on sparse
+  topologies (line/grid/gnp/unit-disk at n ≳ 4096).
+
+Every count either backend produces is a sum of 0/1 terms (or of node ids,
+all far below 2**53) accumulated in ``float64``, so both are exact and the
+resulting :class:`ChannelRound` is **bitwise identical** between backends.
 
 The kernel is batched: ``transmit``/``listen`` may be ``(n,)`` for one
 instance or ``(batch, n)`` for many independent instances on the same
 topology, in which case every output carries the same leading batch axis
-and the whole round costs one BLAS matmul.
+and the whole round costs one fused reduction.
+
+Transmitters hear nothing (half-duplex radios), so ``transmit`` and
+``listen`` must be disjoint; :func:`resolve_channel` enforces that
+precondition itself — for every caller, not just the engines — because a
+silent overlap would produce wrong physics (a transmitter "receiving").
 
 The kernel reports **ground truth** only.  Whether a collided listener
 *perceives* the collision (collision detection) or silence
@@ -24,17 +44,27 @@ mapping belongs to the protocol/adapter layer, not the channel.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.core.stats import RoundStats
 
-__all__ = ["ChannelRound", "adjacency_operand", "resolve_channel", "round_stats"]
+__all__ = [
+    "ChannelRound",
+    "DenseOperand",
+    "KernelOperand",
+    "SparseOperand",
+    "adjacency_operand",
+    "as_kernel_operand",
+    "resolve_channel",
+    "round_stats",
+]
 
 
 def adjacency_operand(adjacency: np.ndarray) -> np.ndarray:
-    """Convert a 0/1 adjacency matrix into the kernel's matmul operand.
+    """Convert a 0/1 adjacency matrix into the dense kernel's matmul operand.
 
     ``float64`` so the matmuls dispatch to BLAS; every count is a sum of
     0/1 terms and therefore exact.
@@ -43,6 +73,119 @@ def adjacency_operand(adjacency: np.ndarray) -> np.ndarray:
     if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
         raise SimulationError(f"adjacency must be square, got shape {adj.shape}")
     return np.ascontiguousarray(adj, dtype=np.float64)
+
+
+class DenseOperand:
+    """Dense channel backend: neighbour counts via one BLAS matmul."""
+
+    __slots__ = ("adj_f", "_ids_f")
+
+    backend = "dense"
+
+    def __init__(self, adjacency: np.ndarray):
+        self.adj_f = adjacency_operand(adjacency)
+        self._ids_f = np.arange(self.adj_f.shape[0], dtype=np.float64)
+
+    @property
+    def n(self) -> int:
+        return self.adj_f.shape[0]
+
+    def transmit_counts(self, tx: np.ndarray) -> np.ndarray:
+        """Per-node transmitting-neighbour counts (``tx`` is float64 0/1)."""
+        return (tx @ self.adj_f).astype(np.int64)
+
+    def weighted_ids(self, tx: np.ndarray) -> np.ndarray:
+        """Id-weighted counts: for a count-1 listener, its unique sender's id."""
+        return ((tx * self._ids_f) @ self.adj_f).astype(np.int64)
+
+
+class SparseOperand:
+    """Sparse CSR channel backend: neighbour counts via edge-list segment sums.
+
+    ``indices[indptr[v]:indptr[v+1]]`` lists node ``v``'s neighbours; one
+    round gathers the transmit mask at every edge's source endpoint and
+    ``np.bincount``-accumulates it at the edge's listener endpoint, so the
+    cost is Θ(batch · m) instead of the dense Θ(batch · n²) matmul.
+    """
+
+    __slots__ = ("indptr", "indices", "n", "_rows", "_ids_f", "_keys")
+
+    backend = "sparse"
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 1 or indices.ndim != 1:
+            raise SimulationError(
+                f"CSR arrays must be 1-D with indptr non-empty, got indptr "
+                f"shape {indptr.shape} and indices shape {indices.shape}"
+            )
+        n = indptr.size - 1
+        if indptr[0] != 0 or indptr[-1] != indices.size or (np.diff(indptr) < 0).any():
+            raise SimulationError(
+                "indptr must start at 0, be non-decreasing, and end at "
+                f"len(indices)={indices.size}; got indptr={indptr!r}"
+            )
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise SimulationError(
+                f"CSR indices must be node ids in [0, {n}), got range "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        self.indptr = indptr
+        self.indices = indices
+        self.n = n
+        # Round-invariant pieces of the kernel, built once: the listener id
+        # owning each CSR slot (the bincount keys), the float64 sender ids,
+        # and (lazily) the batched key array — see :meth:`_segment_sum`.
+        self._rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        self._ids_f = indices.astype(np.float64)
+        self._keys: np.ndarray | None = None
+
+    def _segment_sum(self, weights: np.ndarray) -> np.ndarray:
+        """Sum per-edge ``weights`` (..., m) into their listeners (..., n)."""
+        if weights.ndim == 1:
+            return np.bincount(
+                self._rows, weights=weights, minlength=self.n
+            ).astype(np.int64)
+        flat = weights.reshape(-1, weights.shape[-1])
+        batch = flat.shape[0]
+        # One flat bincount over batch-offset keys instead of a Python loop
+        # per instance: the rows shifted into each batch row's private
+        # [b·n, (b+1)·n) key range.  The raveled layout is row-major, so
+        # the keys for any smaller batch are a prefix of the largest array
+        # built so far — one cached array serves every batch size as
+        # instances retire, at no extra memory.
+        if self._keys is None or self._keys.size < batch * self._rows.size:
+            self._keys = (
+                self._rows[None, :] + (np.arange(batch) * self.n)[:, None]
+            ).ravel()
+        keys = self._keys[: batch * self._rows.size]
+        out = np.bincount(keys, weights=flat.ravel(), minlength=batch * self.n)
+        return (
+            out.reshape(weights.shape[:-1] + (self.n,)).astype(np.int64)
+        )
+
+    def transmit_counts(self, tx: np.ndarray) -> np.ndarray:
+        """Per-node transmitting-neighbour counts (``tx`` is float64 0/1)."""
+        if self.indices.size == 0:
+            return np.zeros(tx.shape[:-1] + (self.n,), dtype=np.int64)
+        return self._segment_sum(tx[..., self.indices])
+
+    def weighted_ids(self, tx: np.ndarray) -> np.ndarray:
+        """Id-weighted counts: for a count-1 listener, its unique sender's id."""
+        if self.indices.size == 0:
+            return np.zeros(tx.shape[:-1] + (self.n,), dtype=np.int64)
+        return self._segment_sum(tx[..., self.indices] * self._ids_f)
+
+
+KernelOperand = Union[DenseOperand, SparseOperand]
+
+
+def as_kernel_operand(operand: KernelOperand | np.ndarray) -> KernelOperand:
+    """Normalize a kernel operand; a raw adjacency matrix means dense."""
+    if isinstance(operand, (DenseOperand, SparseOperand)):
+        return operand
+    return DenseOperand(operand)
 
 
 @dataclass(frozen=True)
@@ -58,7 +201,9 @@ class ChannelRound:
     #: listeners with no transmitting neighbour.
     silent: np.ndarray
     #: for clean listeners, the id of the unique transmitting neighbour;
-    #: 0 (meaningless) everywhere else — always mask with ``clean``.
+    #: 0 (meaningless) everywhere else — always mask with ``clean``.  A 0
+    #: *inside* the clean mask is a legitimate delivery from node id 0, so
+    #: consumers must never treat "senders == 0" alone as "no delivery".
     senders: np.ndarray
 
     def row(self, i: int) -> "ChannelRound":
@@ -72,25 +217,57 @@ class ChannelRound:
         )
 
 
+def _check_masks(n: int, transmit: np.ndarray, listen: np.ndarray) -> None:
+    """Validate mask shapes and the half-duplex disjointness precondition."""
+    if transmit.shape != listen.shape:
+        raise SimulationError(
+            f"transmit and listen masks must have the same shape, got "
+            f"{transmit.shape} and {listen.shape}"
+        )
+    if transmit.ndim not in (1, 2) or transmit.shape[-1] != n:
+        raise SimulationError(
+            f"channel masks must be (n,) or (batch, n) with n={n}, got "
+            f"shape {transmit.shape}"
+        )
+    overlap = np.logical_and(transmit, listen)
+    if overlap.any():
+        where = np.argwhere(overlap)[0]
+        # "batch row", not "instance": a fused batch may hold only the
+        # still-live subset of a caller's items, so the row position is
+        # meaningful only relative to the masks actually passed in (the
+        # batch engine appends its own row→item mapping when re-raising).
+        row = f"batch row {int(where[0])}, " if overlap.ndim == 2 else ""
+        raise SimulationError(
+            f"transmit and listen masks must be disjoint (radios are "
+            f"half-duplex): {row}node {int(where[-1])} does both"
+        )
+
+
 def resolve_channel(
-    adj_f: np.ndarray, transmit: np.ndarray, listen: np.ndarray
+    operand: KernelOperand | np.ndarray, transmit: np.ndarray, listen: np.ndarray
 ) -> ChannelRound:
-    """Resolve one round on adjacency ``adj_f`` (from :func:`adjacency_operand`).
+    """Resolve one round on a kernel operand (dense matrix or CSR backend).
 
     ``transmit`` and ``listen`` are boolean masks of shape ``(n,)`` or
     ``(batch, n)``; transmitters hear nothing (half-duplex), so the masks
-    must be disjoint.
+    must be disjoint — enforced here, for direct kernel callers and future
+    backends as much as for the engines, because an overlap silently
+    produces wrong physics.  Accepts a raw adjacency-matrix ``ndarray`` as
+    a dense operand for backward compatibility, but wraps it in a fresh
+    :class:`DenseOperand` (dtype conversion and all) on *every* call —
+    hot loops should construct the operand once and pass it instead.
     """
-    n = adj_f.shape[0]
+    op = as_kernel_operand(operand)
+    transmit = np.asarray(transmit)
+    listen = np.asarray(listen)
+    _check_masks(op.n, transmit, listen)
     tx = transmit.astype(np.float64)
-    counts = (tx @ adj_f).astype(np.int64)
+    counts = op.transmit_counts(tx)
     clean = listen & (counts == 1)
     collided = listen & (counts >= 2)
     silent = listen & (counts == 0)
     if clean.any():
-        ids = np.arange(n, dtype=np.float64)
-        weighted = ((tx * ids) @ adj_f).astype(np.int64)
-        senders = np.where(clean, weighted, 0)
+        senders = np.where(clean, op.weighted_ids(tx), 0)
     else:
         senders = np.zeros(counts.shape, dtype=np.int64)
     return ChannelRound(

@@ -21,10 +21,20 @@ object on stdout instead of prose, and ``--trace`` logs every round's
 ground truth (transmitters, deliveries, collisions) so a run can be
 inspected without writing code.
 
-The ``--json`` payload has one shape for both outcomes: the shared keys
-(topology header, ``budget``, ``rounds_run``, channel totals) are always
-present and ``status`` discriminates ``"delivered"`` from ``"failed"``,
-so one consumer schema parses every run.
+The ``--json`` payload has one shape for both run outcomes: the shared
+keys (topology header, ``budget``, ``rounds_run``, channel totals) are
+always present and ``status`` discriminates ``"delivered"`` from
+``"failed"``, so one consumer schema parses every run.  Value errors
+caught before any simulation (a non-positive ``--budget``, a topology
+that cannot be built, ``--messages`` on a single-message protocol) emit a
+reduced payload with ``status: "error"`` and an ``error`` message, and
+exit 2.  Malformed flags that argparse itself rejects (e.g. a
+non-integer ``--budget``) exit 2 with the standard usage text on stderr,
+before any JSON contract applies.
+
+``--backend {auto,dense,sparse}`` selects the channel-kernel backend
+(dense matmul vs sparse CSR); ``auto`` picks by topology density and both
+give bitwise-identical runs, so the flag is purely a speed/memory knob.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ import sys
 from repro.errors import BroadcastFailure, TopologyError
 from repro.params import ProtocolParams
 from repro.sim import runners
+from repro.sim.core import resolve_channel_backend
 from repro.sim.decay import DecayResult
 from repro.sim.ghk_broadcast import GHKResult
 from repro.sim.multi_message import MultiMessageResult
@@ -81,9 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--budget",
-        type=_positive,
+        type=int,
         default=None,
-        help="override the protocol's round budget (e.g. to force a failure)",
+        help="override the protocol's round budget (e.g. to force a failure); "
+        "must be positive",
     )
     parser.add_argument(
         "--preset",
@@ -104,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="array",
         help="execution path: array-native batch engine (default) or "
         "per-node protocol objects; results are identical",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "dense", "sparse"),
+        default="auto",
+        help="channel-kernel backend: auto (default) picks dense or sparse "
+        "CSR per topology density; results are identical either way",
     )
     parser.add_argument(
         "--json",
@@ -140,25 +159,52 @@ def _trace_rows(history) -> list[dict]:
     ]
 
 
+def _usage_error(args, message: str) -> int:
+    """Report a pre-run input error: JSON ``status: "error"`` or stderr prose."""
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "status": "error",
+                    "protocol": args.protocol,
+                    "topology": args.topology,
+                    "n": args.n,
+                    "seed": args.seed,
+                    "error": message,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.budget is not None and args.budget < 1:
+        # Rejected up front with a clean usage error — letting a
+        # non-positive budget through would surface as a confusing
+        # BroadcastFailure ("0 rounds were not enough").
+        return _usage_error(
+            args, f"--budget must be a positive round count, got {args.budget}"
+        )
     params = ProtocolParams.paper() if args.preset == "paper" else ProtocolParams.fast()
+    params = params.with_overrides(channel_backend=args.backend)
     spec = runners.broadcast_spec(args.protocol)
     options = {}
     if "k_messages" in spec.option_names:
         options["k_messages"] = args.messages
     elif args.messages != 1:
-        print(
+        return _usage_error(
+            args,
             f"protocol {args.protocol!r} does not support --messages; "
             "choose a k-message protocol (e.g. multimessage)",
-            file=sys.stderr,
         )
-        return 2
     try:
         net = from_spec(args.topology, args.n, seed=args.seed, p=args.p, radius=args.radius)
     except TopologyError as exc:
-        print(f"topology error: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error(args, f"topology error: {exc}")
     if not args.json:
         print(
             f"{net.name}: n={net.n} edges={net.num_edges} "
@@ -169,9 +215,13 @@ def main(argv: list[str] | None = None) -> int:
     collision_detection = (
         True if spec.requires_collision_detection else args.collision_detection
     )
+    # Report both the requested backend policy and the backend it resolves
+    # to on this topology, so --backend auto payloads are self-describing.
     payload = {
         "protocol": args.protocol,
         "engine": args.engine,
+        "backend": args.backend,
+        "backend_resolved": resolve_channel_backend(net, params),
         "topology": net.name,
         "n": net.n,
         "edges": net.num_edges,

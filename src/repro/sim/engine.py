@@ -118,7 +118,7 @@ class Engine:
         core = self._core
         r = core.round_index
         plan = core.begin_round()
-        channel = resolve_channel(core.adjacency_operand, plan.transmit, plan.listen)
+        channel = resolve_channel(core.kernel_operand, plan.transmit, plan.listen)
         # complete_round materializes the record itself when tracing.
         stats = core.complete_round(channel)
         return stats if stats is not None else round_stats(r, plan.transmit, channel)

@@ -74,6 +74,70 @@ class RadioNetwork:
                     raise TopologyError(f"edge ({u}, {v}) is not symmetric")
         self._neighbors = tuple(adj)
         self._n = n
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._finalize(source, name)
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        *,
+        source: int = 0,
+        name: str = "custom",
+    ) -> "RadioNetwork":
+        """Build a network from an undirected edge list, fully vectorized.
+
+        Each ``(u[i], v[i])`` pair contributes the edge in both directions;
+        duplicate pairs are deduplicated.  Provides the same guarantees as
+        the list-of-neighbours constructor (range, self-loop, connectivity
+        validation) but with array operations and no per-node Python loop
+        or n×n intermediate — this is the constructor the sparse-native
+        random generators use at large n.
+        """
+        if n < 1:
+            raise TopologyError("a RadioNetwork needs at least one node")
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise TopologyError(
+                f"edge endpoint arrays must have matching length, got "
+                f"{u.size} and {v.size}"
+            )
+        if u.size:
+            endpoints = np.concatenate([u, v])
+            out_of_range = (endpoints < 0) | (endpoints >= n)
+            if out_of_range.any():
+                bad = int(endpoints[out_of_range][0])
+                raise TopologyError(f"edge endpoint {bad} out of range for {n} nodes")
+            loops = u == v
+            if loops.any():
+                raise TopologyError(
+                    f"self-loop at node {int(u[np.nonzero(loops)[0][0]])}"
+                )
+        # Encode directed pairs as u*n + v; unique() both deduplicates and
+        # sorts them into CSR order (row-major, ascending neighbours).
+        enc = np.unique(np.concatenate([u * n + v, v * n + u]))
+        rows, cols = np.divmod(enc, n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+        net = object.__new__(cls)
+        net._n = n
+        net._neighbors = tuple(
+            tuple(row.tolist()) for row in np.split(cols, indptr[1:-1])
+        )
+        indptr.setflags(write=False)
+        cols.setflags(write=False)
+        net._csr = (indptr, cols)
+        net._finalize(source, name)
+        return net
+
+    def _finalize(self, source: int, name: str) -> None:
+        """Shared constructor tail: caches, source check, connectivity check."""
+        n = self._n
+        if not 0 <= source < n:
+            raise TopologyError(f"source {source} out of range for {n} nodes")
         self._source = source
         self._name = name
         self._adjacency: np.ndarray | None = None
@@ -129,15 +193,42 @@ class RadioNetwork:
             self._adjacency = mat
         return self._adjacency
 
-    def adjacency_key(self) -> bytes:
-        """Cached ``adjacency_matrix().tobytes()`` — a hashable topology key.
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached CSR neighbour arrays ``(indptr, indices)``, read-only int64.
 
-        The batch engine groups same-topology instances by this key; caching
-        it here keeps that grouping O(1) per item instead of re-serializing
-        O(n^2) matrix bytes for every instance.
+        ``indices[indptr[v]:indptr[v+1]]`` lists node ``v``'s neighbours in
+        ascending order.  This is the sparse channel backend's operand;
+        it is built straight from the neighbour lists, so requesting it
+        never materializes the dense n×n matrix.  Both arrays are the cache
+        itself, marked read-only for the same reason as
+        :meth:`adjacency_matrix`.
+        """
+        if self._csr is None:
+            indptr = np.zeros(self._n + 1, dtype=np.int64)
+            np.cumsum([len(nbrs) for nbrs in self._neighbors], out=indptr[1:])
+            indices = np.fromiter(
+                (w for nbrs in self._neighbors for w in nbrs),
+                dtype=np.int64,
+                count=int(indptr[-1]),
+            )
+            indptr.setflags(write=False)
+            indices.setflags(write=False)
+            self._csr = (indptr, indices)
+        return self._csr
+
+    def adjacency_key(self) -> bytes:
+        """Cached byte serialization of the CSR structure — a hashable topology key.
+
+        The batch engine groups same-topology instances by this key; basing
+        it on the CSR arrays (with the node count prefixed to keep the
+        encoding unambiguous) keeps it O(edges) and dense-matrix-free, so
+        grouping huge sparse graphs never allocates n² bytes.
         """
         if self._adjacency_key is None:
-            self._adjacency_key = self.adjacency_matrix().tobytes()
+            indptr, indices = self.csr()
+            self._adjacency_key = (
+                np.int64(self._n).tobytes() + indptr.tobytes() + indices.tobytes()
+            )
         return self._adjacency_key
 
     # ------------------------------------------------------------------ #
@@ -295,26 +386,124 @@ def dumbbell(clique_size: int, bridge_length: int = 4, *, source: int = 0) -> Ra
 _RANDOM_TRIES = 50
 
 
+def _sample_distinct(
+    rng: np.random.Generator, population: int, count: int
+) -> np.ndarray:
+    """A uniform ``count``-subset of ``range(population)``, as a sorted array.
+
+    Vectorized rejection sampling: draw with replacement in passes and keep
+    the first ``count`` distinct values — first-appearance order is exactly
+    the sequential draw-until-new process, so the kept set is a uniform
+    ``count``-subset.  Rejection hits the coupon-collector tail when
+    ``count`` approaches ``population``, so dense requests sample the
+    *complement* instead (a uniform complement yields a uniform subset);
+    either way the cost stays O(min(count, population - count)) draws.
+    """
+    if 2 * count > population:
+        dropped = _sample_distinct(rng, population, population - count)
+        keep = np.ones(population, dtype=bool)
+        keep[dropped] = False
+        return np.nonzero(keep)[0]
+    picked = np.empty(0, dtype=np.int64)
+    while picked.size < count:
+        need = count - picked.size
+        draw = rng.integers(0, population, size=need + (need >> 2) + 16)
+        merged = np.concatenate([picked, draw])
+        _, first_seen = np.unique(merged, return_index=True)
+        picked = merged[np.sort(first_seen)][:count]
+    return np.sort(picked)
+
+
 def gnp(n: int, p: float, *, seed: int = 0, source: int = 0, max_tries: int = _RANDOM_TRIES) -> RadioNetwork:
-    """Erdős–Rényi G(n, p), resampled until connected (or :class:`TopologyError`)."""
+    """Erdős–Rényi G(n, p), resampled until connected (or :class:`TopologyError`).
+
+    Edge-sampled: the edge count is drawn from ``Binomial(C(n,2), p)`` and
+    then that many distinct vertex pairs are sampled uniformly — the same
+    G(n, p) distribution as per-pair Bernoulli coins, but Θ(n + edges)
+    memory instead of an n×n Bernoulli matrix, so sparse graphs scale past
+    the dense wall.  (The per-seed graphs differ from the dense sampler
+    this replaced; the pinned regressions were updated accordingly.)
+    """
     _check_size(n)
     if not 0.0 <= p <= 1.0:
         raise TopologyError(f"edge probability must be in [0, 1], got {p}")
     if not 0 <= source < n:
         raise TopologyError(f"source {source} out of range for {n} nodes")
+    total_pairs = n * (n - 1) // 2
+    # rowstart[a] = number of pairs (i, j) with i < j and i < a, i.e. the
+    # linearized-index offset where row a's pairs begin.
+    firsts = np.arange(n, dtype=np.int64)
+    rowstart = firsts * (2 * n - firsts - 1) // 2
     for attempt in range(max_tries):
         rng = stream(seed, 1, attempt)
-        upper = np.triu(rng.random((n, n)) < p, k=1)
-        mat = upper | upper.T
-        nbrs = [np.nonzero(mat[u])[0].tolist() for u in range(n)]
+        edge_count = (
+            total_pairs if p == 1.0 else int(rng.binomial(total_pairs, p))
+        )
+        if edge_count == total_pairs:
+            picked = np.arange(total_pairs, dtype=np.int64)  # complete graph
+        else:
+            picked = _sample_distinct(rng, total_pairs, edge_count)
+        i = np.searchsorted(rowstart, picked, side="right") - 1
+        j = picked - rowstart[i] + i + 1
         try:
-            net = RadioNetwork(nbrs, source=source, name=f"gnp-{n}-p{p:.3g}")
+            net = RadioNetwork.from_edges(
+                n, i, j, source=source, name=f"gnp-{n}-p{p:.3g}"
+            )
         except TopologyError:
             continue
         return net
     raise TopologyError(
         f"G({n}, {p}) was disconnected in {max_tries} attempts; increase p"
     )
+
+
+def _close_pairs(pts: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
+    """Directed index pairs ``(i, j)``, ``i != j``, within ``radius`` of each other.
+
+    Cell binning: points are bucketed into a grid of radius-sized cells, so
+    any two points within ``radius`` sit in the same or in adjacent cells.
+    Sorting points by cell id makes each of the three cell *columns* around
+    a point one contiguous run, so candidate pairs come out of three
+    vectorized range expansions instead of the all-pairs delta tensor.
+    The distance predicate is evaluated with the same expression shape
+    (dx² + dy² <= r²) as the dense version, keeping seeds-to-graph
+    behaviour bit-identical.
+    """
+    n = pts.shape[0]
+    cells = max(1, math.ceil(1.0 / radius))
+    cx = np.minimum((pts[:, 0] / radius).astype(np.int64), cells - 1)
+    cy = np.minimum((pts[:, 1] / radius).astype(np.int64), cells - 1)
+    cid = cx * cells + cy
+    order = np.argsort(cid, kind="stable")
+    cid_sorted = cid[order]
+    lo_row = cx * cells + np.maximum(cy - 1, 0)
+    hi_row = cx * cells + np.minimum(cy + 1, cells - 1)
+    all_left: list[np.ndarray] = []
+    all_right: list[np.ndarray] = []
+    r_sq = radius * radius
+    for dx in (-1, 0, 1):
+        shift = dx * cells
+        # Out-of-range columns encode to ids below 0 or above cells²-1, so
+        # searchsorted collapses them to empty ranges with no special case.
+        lo = np.searchsorted(cid_sorted, lo_row + shift, side="left")
+        hi = np.searchsorted(cid_sorted, hi_row + shift, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        left = np.repeat(np.arange(n, dtype=np.int64), counts)
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        right = order[np.arange(total, dtype=np.int64) - offsets + np.repeat(lo, counts)]
+        keep = left != right
+        dxs = pts[left, 0] - pts[right, 0]
+        dys = pts[left, 1] - pts[right, 1]
+        keep &= (dxs * dxs + dys * dys) <= r_sq
+        all_left.append(left[keep])
+        all_right.append(right[keep])
+    if not all_left:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(all_left), np.concatenate(all_right)
 
 
 def unit_disk(
@@ -325,7 +514,15 @@ def unit_disk(
     source: int = 0,
     max_tries: int = _RANDOM_TRIES,
 ) -> RadioNetwork:
-    """Unit-disk graph: ``n`` points in the unit square, edge iff distance <= radius."""
+    """Unit-disk graph: ``n`` points in the unit square, edge iff distance <= radius.
+
+    Cell-binned (:func:`_close_pairs`): only points in the same or adjacent
+    radius-sized cells are compared, so building the graph costs
+    Θ(n + candidate pairs) instead of the ~3·n² float64 the all-pairs delta
+    tensor used to peak at.  The point sampling, edge predicate, and
+    retry-until-connected semantics are unchanged, so every seed maps to
+    exactly the same graph as the all-pairs version.
+    """
     _check_size(n)
     if radius <= 0:
         raise TopologyError(f"radius must be positive, got {radius}")
@@ -334,12 +531,11 @@ def unit_disk(
     for attempt in range(max_tries):
         rng = stream(seed, 2, attempt)
         pts = rng.random((n, 2))
-        delta = pts[:, None, :] - pts[None, :, :]
-        close = (delta**2).sum(axis=2) <= radius * radius
-        np.fill_diagonal(close, False)
-        nbrs = [np.nonzero(close[u])[0].tolist() for u in range(n)]
+        left, right = _close_pairs(pts, radius)
         try:
-            net = RadioNetwork(nbrs, source=source, name=f"udg-{n}-r{radius:.3g}")
+            net = RadioNetwork.from_edges(
+                n, left, right, source=source, name=f"udg-{n}-r{radius:.3g}"
+            )
         except TopologyError:
             continue
         return net

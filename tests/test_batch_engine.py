@@ -61,6 +61,25 @@ class TestArrayEngine:
         with pytest.raises(SimulationError, match="half-duplex"):
             engine.step()
 
+    def test_fused_batch_overlap_error_names_the_items(self):
+        # In a fused batch the kernel only sees stacked rows of the live
+        # subset; the batch engine must append the row->item mapping so the
+        # culprit is identifiable as the caller's item.
+        class Overlapping(SourceBeacon):
+            def act(self, round_index):
+                both = np.ones(self.n, dtype=bool)
+                return RoundPlan(transmit=both, listen=both)
+
+        net = line(3)
+        items = [
+            BatchItem(network=net, protocol=proto, budget=5, seed=s, params=FAST)
+            for s, proto in enumerate([SourceBeacon(), Overlapping()])
+        ]
+        with pytest.raises(
+            SimulationError, match=r"batch row 1.*batch rows are items \[0, 1\]"
+        ):
+            BatchEngine(items).run()
+
     def test_rejects_non_plan_return(self):
         class Broken(SourceBeacon):
             def act(self, round_index):
@@ -185,7 +204,7 @@ class TestBatchEngine:
             for s, net in enumerate(nets)
         ]
         engine = BatchEngine(items)
-        operands = {id(e.adjacency_operand) for e in engine.engines}
+        operands = {id(e.kernel_operand) for e in engine.engines}
         assert len(operands) == 1
 
     def test_grouping_uses_the_cached_adjacency_key(self):

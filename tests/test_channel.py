@@ -3,8 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.sim.core import adjacency_operand, resolve_channel, round_stats
-from repro.sim.topology import gnp, line, star
+from repro.errors import SimulationError
+from repro.sim.core import (
+    DenseOperand,
+    SparseOperand,
+    adjacency_operand,
+    as_kernel_operand,
+    resolve_channel,
+    round_stats,
+)
+from repro.sim.topology import RadioNetwork, gnp, line, star
 
 
 def _operand(net):
@@ -111,8 +119,6 @@ class TestBatched:
 
 class TestOperand:
     def test_rejects_non_square_input(self):
-        from repro.errors import SimulationError
-
         with pytest.raises(SimulationError, match="square"):
             adjacency_operand(np.zeros((3, 4)))
 
@@ -125,3 +131,129 @@ class TestOperand:
         listen = ~transmit
         ch = resolve_channel(adj, transmit, listen)
         assert ch.counts[0] == 39
+
+    def test_raw_matrix_normalizes_to_a_dense_operand(self):
+        op = as_kernel_operand(line(4).adjacency_matrix())
+        assert isinstance(op, DenseOperand)
+        assert op.backend == "dense"
+        # Already-wrapped operands pass through untouched.
+        assert as_kernel_operand(op) is op
+
+
+class TestSparseOperand:
+    @pytest.mark.parametrize("graph_seed", [0, 1, 2])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_sparse_resolution_is_bitwise_identical_to_dense(
+        self, graph_seed, batched
+    ):
+        net = gnp(30, 0.2, seed=graph_seed)
+        dense = DenseOperand(net.adjacency_matrix())
+        sparse = SparseOperand(*net.csr())
+        assert sparse.backend == "sparse"
+        rng = np.random.default_rng(graph_seed)
+        shape = (7, 30) if batched else (30,)
+        transmit = rng.random(shape) < 0.3
+        listen = ~transmit & (rng.random(shape) < 0.7)
+        a = resolve_channel(dense, transmit, listen)
+        b = resolve_channel(sparse, transmit, listen)
+        assert np.array_equal(a.counts, b.counts)
+        assert np.array_equal(a.clean, b.clean)
+        assert np.array_equal(a.collided, b.collided)
+        assert np.array_equal(a.silent, b.silent)
+        assert np.array_equal(a.senders, b.senders)
+        assert a.counts.dtype == b.counts.dtype
+        assert a.senders.dtype == b.senders.dtype
+
+    def test_single_node_graph_resolves_to_silence(self):
+        # n=1, no edges: the CSR arrays are empty and every round is silent.
+        op = SparseOperand(np.array([0, 0]), np.array([], dtype=np.int64))
+        ch = resolve_channel(
+            op, np.zeros(1, dtype=bool), np.ones(1, dtype=bool)
+        )
+        assert ch.silent.tolist() == [True]
+        assert ch.senders.tolist() == [0]
+
+    def test_rejects_malformed_csr(self):
+        with pytest.raises(SimulationError, match="indptr"):
+            SparseOperand(np.array([1, 2]), np.array([0, 1]))  # starts at 1
+        with pytest.raises(SimulationError, match="indptr"):
+            SparseOperand(np.array([0, 2, 1]), np.array([0]))  # decreasing
+        with pytest.raises(SimulationError, match="node ids"):
+            SparseOperand(np.array([0, 1, 2]), np.array([0, 5]))  # id >= n
+
+
+class TestDisjointnessPrecondition:
+    """The kernel itself must reject overlapping transmit/listen masks.
+
+    Only the engine used to check, so direct kernel callers (tests, future
+    backends, batched paths) silently got wrong physics on overlap.
+    """
+
+    @pytest.mark.parametrize("make_op", [
+        lambda net: _operand(net),
+        lambda net: DenseOperand(net.adjacency_matrix()),
+        lambda net: SparseOperand(*net.csr()),
+    ])
+    def test_unbatched_overlap_rejected(self, make_op):
+        op = make_op(line(4))
+        transmit = np.array([True, False, True, False])
+        listen = np.array([False, True, True, False])  # node 2 does both
+        with pytest.raises(SimulationError, match="half-duplex.*node 2"):
+            resolve_channel(op, transmit, listen)
+
+    @pytest.mark.parametrize("make_op", [
+        lambda net: DenseOperand(net.adjacency_matrix()),
+        lambda net: SparseOperand(*net.csr()),
+    ])
+    def test_batched_overlap_rejected_with_instance_index(self, make_op):
+        op = make_op(line(4))
+        transmit = np.zeros((3, 4), dtype=bool)
+        listen = np.zeros((3, 4), dtype=bool)
+        transmit[:, 0] = True
+        listen[:, 1:] = True
+        listen[2, 0] = True  # batch row 2, node 0 does both
+        with pytest.raises(
+            SimulationError, match="half-duplex.*batch row 2.*node 0"
+        ):
+            resolve_channel(op, transmit, listen)
+
+    def test_shape_mismatches_rejected(self):
+        op = DenseOperand(line(4).adjacency_matrix())
+        with pytest.raises(SimulationError, match="same shape"):
+            resolve_channel(op, np.zeros(4, dtype=bool), np.zeros(3, dtype=bool))
+        with pytest.raises(SimulationError, match=r"\(n,\) or \(batch, n\)"):
+            resolve_channel(op, np.zeros(5, dtype=bool), np.zeros(5, dtype=bool))
+
+
+class TestSenderZeroConvention:
+    """`senders` is 0 outside `clean` — and a 0 *inside* clean is a real
+    delivery from node id 0, so the two cases must stay distinguishable."""
+
+    @pytest.mark.parametrize("make_op", [
+        lambda net: DenseOperand(net.adjacency_matrix()),
+        lambda net: SparseOperand(*net.csr()),
+    ])
+    def test_clean_delivery_from_node_zero_on_a_star(self, make_op):
+        # Hub 0 transmits alone: every leaf is clean with sender id 0,
+        # identical to the placeholder value outside the mask — only the
+        # clean mask separates them.
+        net = star(6, source=0)
+        op = make_op(net)
+        transmit = np.zeros(6, dtype=bool)
+        transmit[0] = True
+        listen = ~transmit
+        ch = resolve_channel(op, transmit, listen)
+        assert ch.clean.tolist() == [False, True, True, True, True, True]
+        assert ch.senders.tolist() == [0, 0, 0, 0, 0, 0]
+        stats = round_stats(0, transmit, ch)
+        assert stats.deliveries == ((1, 0), (2, 0), (3, 0), (4, 0), (5, 0))
+
+    def test_node_zero_delivery_in_a_line_middle(self):
+        # Node 0 in the middle of a custom line 1-0-2: both ends hear a
+        # clean transmission whose sender id is 0.
+        net = RadioNetwork([[1, 2], [0], [0]])
+        transmit = np.array([True, False, False])
+        listen = np.array([False, True, True])
+        ch = resolve_channel(DenseOperand(net.adjacency_matrix()), transmit, listen)
+        assert ch.clean.tolist() == [False, True, True]
+        assert ch.senders.tolist() == [0, 0, 0]

@@ -178,11 +178,54 @@ def test_demo_messages_flag_rejected_for_single_message_protocols(capsys):
     assert "does not support --messages" in capsys.readouterr().err
 
 
-def test_demo_rejects_non_positive_messages_or_budget():
+def test_demo_rejects_non_positive_messages():
     with pytest.raises(SystemExit):
         demo.main(["--messages", "0"])
-    with pytest.raises(SystemExit):
-        demo.main(["--budget", "0"])
+
+
+@pytest.mark.parametrize("budget", ["0", "-7"])
+def test_demo_rejects_non_positive_budget_cleanly(capsys, budget):
+    # A starving-but-positive budget is a legitimate forced failure; zero
+    # or negative is an input error and must say so up front instead of
+    # surfacing as a confusing BroadcastFailure.
+    rc = demo.main(["--topology", "line", "--n", "8", "--budget", budget])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--budget must be a positive round count" in err
+
+
+@pytest.mark.parametrize("budget", ["0", "-3"])
+def test_demo_json_budget_error_payload(capsys, budget):
+    # Under --json even input errors emit one parseable object with the
+    # "error" status discriminator, so scripted consumers never have to
+    # scrape stderr.
+    rc = demo.main(
+        ["--topology", "line", "--n", "8", "--json", "--budget", budget]
+    )
+    assert rc == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["status"] == "error"
+    assert "--budget must be a positive round count" in payload["error"]
+    assert payload["topology"] == "line"
+    assert payload["n"] == 8
+
+
+def test_demo_json_topology_error_payload(capsys):
+    rc = demo.main(["--topology", "gnp", "--n", "30", "--p", "0.0", "--json"])
+    assert rc == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["status"] == "error"
+    assert "topology error" in payload["error"]
+
+
+def test_demo_json_unsupported_messages_error_payload(capsys):
+    # Every pre-run input error honours the --json one-object contract,
+    # including the protocol-without-k-message-support path.
+    rc = demo.main(["--protocol", "decay", "--messages", "4", "--json"])
+    assert rc == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["status"] == "error"
+    assert "does not support --messages" in payload["error"]
 
 
 def test_demo_json_decay_reports_phases(capsys):

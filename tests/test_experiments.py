@@ -9,6 +9,7 @@ from repro.experiments import (
     DEFAULT_K_VALUES,
     DEFAULT_TOPOLOGIES,
     bench_engines,
+    bench_scale,
     merge_records,
     sweep_broadcast,
     sweep_multimessage,
@@ -17,6 +18,7 @@ from repro.experiments import (
 from repro.experiments.broadcast_bench import main
 from repro.experiments.engine_bench import main as engine_main
 from repro.experiments.multimessage_bench import main as multimessage_main
+from repro.experiments.scale_bench import main as scale_main
 
 
 class TestSweep:
@@ -342,3 +344,115 @@ class TestMultiMessageBench:
         by_k = {entry["k_messages"]: entry for entry in record["results"]}
         assert "pipelining_speedup" in by_k[2]
         assert "pipelining_speedup" not in by_k[1]
+
+
+class TestScaleBench:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return bench_scale(
+            sizes=(16, 32), topologies=("line", "grid"), seeds=2, preset="fast"
+        )
+
+    def test_record_header(self, record):
+        assert record["bench"] == "scale"
+        assert record["sizes"] == [16, 32]
+        assert record["backends"] == ["dense", "sparse"]
+        assert record["protocol"] == "ghk"
+
+    def test_one_entry_per_family_size_backend(self, record):
+        keys = {(e["topology"], e["n"], e["backend"]) for e in record["results"]}
+        assert len(keys) == len(record["results"]) == 2 * 2 * 2
+
+    def test_executed_cells_report_throughput_and_memory(self, record):
+        for entry in record["results"]:
+            assert "skipped" not in entry  # nothing hits ceilings this small
+            assert entry["rounds"] > 0
+            assert entry["rounds_per_sec"] > 0
+            assert entry["peak_mib"] > 0
+            assert entry["completed"] == entry["runs"] == 2
+
+    def test_sparse_entries_certify_equivalence_with_dense(self, record):
+        sparse = [e for e in record["results"] if e["backend"] == "sparse"]
+        assert sparse
+        for entry in sparse:
+            assert entry["results_match_dense"] is True
+            assert "speedup_vs_dense" in entry
+            assert "memory_ratio_vs_dense" in entry
+
+    def test_memory_ceiling_skips_dense_cells(self):
+        record = bench_scale(
+            sizes=(24,),
+            topologies=("line",),
+            seeds=1,
+            max_dense_bytes=0,  # every dense cell exceeds a zero ceiling
+        )
+        by_backend = {e["backend"]: e for e in record["results"]}
+        assert "skipped" in by_backend["dense"]
+        assert "MiB ceiling" in by_backend["dense"]["skipped"]
+        # The sparse cell still runs — that is the whole point.
+        assert by_backend["sparse"]["rounds"] > 0
+        assert "results_match_dense" not in by_backend["sparse"]
+
+    def test_time_ceiling_skips_larger_sizes(self):
+        record = bench_scale(
+            sizes=(16, 32),
+            topologies=("line",),
+            seeds=1,
+            backends=("sparse",),
+            max_cell_seconds=0.0,  # everything exceeds a zero ceiling
+        )
+        small, large = record["results"]
+        assert small["n"] == 16 and "rounds" in small
+        assert large["n"] == 32 and "cell ceiling at n=16" in large["skipped"]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError, match="sizes"):
+            bench_scale(sizes=(0,))
+        with pytest.raises(AnalysisError, match="seed"):
+            bench_scale(sizes=(8,), seeds=0)
+        with pytest.raises(AnalysisError, match="topologies"):
+            bench_scale(sizes=(8,), topologies=("torus",))
+        with pytest.raises(AnalysisError, match="backends"):
+            bench_scale(sizes=(8,), backends=("csr",))
+        with pytest.raises(AnalysisError, match="protocol"):
+            bench_scale(sizes=(8,), protocol="gossip")
+        with pytest.raises(AnalysisError, match="preset"):
+            bench_scale(sizes=(8,), preset="slow")
+        with pytest.raises(AnalysisError, match="cannot build"):
+            bench_scale(sizes=(2,), topologies=("ring",))
+
+    def test_cli_writes_record_and_smoke_ceiling_passes(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_scale.json"
+        rc = scale_main(
+            [
+                "--n", "16",
+                "--topologies", "line",
+                "--seeds", "1",
+                "--max-seconds", "120",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        record = json.loads(out.read_text())
+        assert record["bench"] == "scale"
+        stdout = capsys.readouterr().out
+        assert "smoke OK" in stdout
+        assert "speedup-vs-dense" in stdout
+
+    def test_cli_smoke_ceiling_failure(self, tmp_path, capsys):
+        rc = scale_main(
+            [
+                "--n", "16",
+                "--topologies", "line",
+                "--seeds", "1",
+                "--max-seconds", "0",
+                "--out", str(tmp_path / "x.json"),
+            ]
+        )
+        assert rc == 1
+        assert "SMOKE FAIL" in capsys.readouterr().err
+
+    def test_cli_reports_bench_errors(self, tmp_path, capsys):
+        rc = scale_main(["--n", "0", "--out", str(tmp_path / "x.json")])
+        assert rc == 2
+        assert "bench error" in capsys.readouterr().err

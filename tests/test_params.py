@@ -174,3 +174,28 @@ class TestValidation:
 
     def test_wave_spacing_accepts_wider_periods(self):
         assert ProtocolParams(wave_spacing=5).wave_spacing == 5
+
+    @pytest.mark.parametrize("bad", ["csr", "", "Dense", 3])
+    def test_construction_rejects_unknown_channel_backend(self, bad):
+        with pytest.raises(ConfigurationError, match="channel_backend"):
+            ProtocolParams(channel_backend=bad)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_construction_rejects_out_of_range_density_threshold(self, bad):
+        with pytest.raises(ConfigurationError, match="sparse_density_threshold"):
+            ProtocolParams(sparse_density_threshold=bad)
+
+    @pytest.mark.parametrize("bad", [-1, 2.5, "big"])
+    def test_construction_rejects_bad_sparse_min_n(self, bad):
+        with pytest.raises(ConfigurationError, match="sparse_min_n"):
+            ProtocolParams(sparse_min_n=bad)
+
+    def test_channel_backend_knobs_default_and_override(self):
+        params = ProtocolParams.paper()
+        assert params.channel_backend == "auto"
+        assert 0.0 <= params.sparse_density_threshold <= 1.0
+        forced = params.with_overrides(
+            channel_backend="sparse", sparse_density_threshold=1.0
+        )
+        assert forced.channel_backend == "sparse"
+        assert forced.sparse_density_threshold == 1.0
