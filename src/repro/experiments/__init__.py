@@ -11,14 +11,23 @@ against the array-native batch engine over the same sweep;
 across message counts and measures whether pipelining beats k sequential
 broadcasts; :mod:`repro.experiments.scale_bench` compares the dense and
 sparse channel backends across network sizes (rounds/sec and peak memory).
+
+Every record is stamped through :mod:`repro.experiments.record`
+(``schema_version``, ``created_utc``); :mod:`repro.experiments.trajectory`
+merges the committed record history into one longitudinal report, and
+:mod:`repro.experiments.perf_gate` re-measures a smoke slice and fails on
+throughput or memory regression against the committed records.
 """
 
 __all__ = [
     "DEFAULT_K_VALUES",
     "DEFAULT_PROTOCOLS",
     "DEFAULT_TOPOLOGIES",
+    "SCHEMA_VERSION",
     "bench_engines",
+    "bench_record",
     "bench_scale",
+    "build_trajectory",
     "merge_records",
     "resolve_params",
     "sweep_broadcast",
@@ -56,4 +65,12 @@ def __getattr__(name: str):
         from repro.experiments import scale_bench
 
         return scale_bench.bench_scale
+    if name in ("SCHEMA_VERSION", "bench_record"):
+        from repro.experiments import record
+
+        return getattr(record, name)
+    if name == "build_trajectory":
+        from repro.experiments import trajectory
+
+        return trajectory.build_trajectory
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,13 +20,11 @@ sweep.
 from __future__ import annotations
 
 import argparse
-import json
 import statistics
 import sys
-from datetime import datetime, timezone
-from pathlib import Path
 
 from repro.errors import AnalysisError, BroadcastFailure, TopologyError
+from repro.experiments.record import bench_record, write_bench
 from repro.params import ProtocolParams
 from repro.sim import runners
 from repro.sim.runners import run_broadcast_batch
@@ -134,12 +132,16 @@ def sweep_broadcast(
         for protocol in protocols:
             rounds: list[int] = []
             transmissions: list[int] = []
+            energies: list[int] = []
+            collisions: list[int] = []
             budgets: list[int] = []
             failures = 0
             # The whole seed batch runs in one BatchEngine pass; results are
             # bitwise-identical to per-seed object runs on the same seeds.
+            telemetry: dict = {}
             batch = run_broadcast_batch(
-                protocol, nets, seeds=range(len(nets)), params=params
+                protocol, nets, seeds=range(len(nets)), params=params,
+                telemetry=telemetry,
             )
             for result in batch:
                 if isinstance(result, BroadcastFailure):
@@ -147,6 +149,8 @@ def sweep_broadcast(
                     continue
                 rounds.append(result.rounds_to_delivery)
                 transmissions.append(result.sim.total_transmissions)
+                energies.append(result.sim.traffic.energy)
+                collisions.append(result.sim.total_collisions)
                 budgets.append(result.budget)
             entry = {
                 "topology": family,
@@ -155,11 +159,15 @@ def sweep_broadcast(
                 "runs": seeds,
                 "failures": failures,
                 "source_eccentricity_mean": round(statistics.mean(diameters), 2),
+                "sweep_seconds": telemetry["wall_seconds"],
+                "sweep_rounds_per_sec": telemetry["rounds_per_sec"],
             }
             if rounds:
                 entry["rounds"] = _summary(rounds)
                 entry["rounds_all"] = rounds
                 entry["transmissions_mean"] = round(statistics.mean(transmissions), 2)
+                entry["energy_mean"] = round(statistics.mean(energies), 2)
+                entry["collisions_mean"] = round(statistics.mean(collisions), 2)
                 entry["budget_mean"] = round(statistics.mean(budgets), 2)
             results.append(entry)
             per_protocol[protocol] = entry
@@ -171,18 +179,16 @@ def sweep_broadcast(
                     d["rounds"]["mean"] / g["rounds"]["mean"], 2
                 )
 
-    return {
-        "bench": "broadcast",
-        "paper": "conf_podc_GhaffariHK13",
-        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "preset": preset,
-        "channel_backend": backend,
-        "n": n,
-        "seeds": seeds,
-        "protocols": list(protocols),
-        "topologies": list(topologies),
-        "results": results,
-    }
+    return bench_record(
+        "broadcast",
+        preset=preset,
+        channel_backend=backend,
+        n=n,
+        seeds=seeds,
+        protocols=list(protocols),
+        topologies=list(topologies),
+        results=results,
+    )
 
 
 #: Header fields that must agree across every record being merged; a merged
@@ -190,6 +196,7 @@ def sweep_broadcast(
 #: misdescribe the data of the later records.
 MERGE_HEADER_KEYS: tuple[str, ...] = (
     "bench",
+    "schema_version",
     "paper",
     "preset",
     "channel_backend",
@@ -226,13 +233,6 @@ def merge_records(records: list[dict]) -> dict:
     merged["n"] = sizes[0] if len(sizes) == 1 else sizes
     merged["results"] = [entry for record in records for entry in record["results"]]
     return merged
-
-
-def write_bench(record: dict, path: str | Path) -> Path:
-    """Write a bench record as pretty-printed JSON and return the path."""
-    path = Path(path)
-    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
-    return path
 
 
 def main(argv: list[str] | None = None) -> int:

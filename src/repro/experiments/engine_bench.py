@@ -22,10 +22,10 @@ import argparse
 import statistics
 import sys
 import time
-from datetime import datetime, timezone
 
 from repro.errors import AnalysisError, BroadcastFailure, TopologyError
 from repro.experiments.broadcast_bench import DEFAULT_PROTOCOLS, resolve_params
+from repro.experiments.record import bench_record, rounds_per_sec, write_bench
 from repro.sim import runners
 from repro.sim.runners import broadcast_runner, broadcast_spec, run_broadcast_batch
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
@@ -37,7 +37,7 @@ def _path_entry(rounds: int, seconds: float, completed: int, runs: int) -> dict:
     return {
         "rounds": rounds,
         "seconds": round(seconds, 4),
-        "rounds_per_sec": round(rounds / seconds, 1) if seconds > 0 else None,
+        "rounds_per_sec": rounds_per_sec(rounds, seconds),
         "completed": completed,
         "runs": runs,
     }
@@ -104,8 +104,11 @@ def bench_engines(
 
         rounds_array = 0
         completed_array = 0
+        telemetry: dict = {}
         t0 = time.perf_counter()
-        batch = run_broadcast_batch(protocol, nets, seeds=range(seeds), params=params)
+        batch = run_broadcast_batch(
+            protocol, nets, seeds=range(seeds), params=params, telemetry=telemetry
+        )
         array_seconds = time.perf_counter() - t0
         sample_rounds: list[int] = []
         for result, budget in zip(batch, budgets):
@@ -125,7 +128,12 @@ def bench_engines(
                 round(statistics.mean(sample_rounds), 2) if sample_rounds else None
             ),
             "object": _path_entry(rounds_object, object_seconds, completed_object, seeds),
-            "array": _path_entry(rounds_array, array_seconds, completed_array, seeds),
+            "array": {
+                **_path_entry(rounds_array, array_seconds, completed_array, seeds),
+                # Where the array path's time goes, from the engine's own
+                # phase timers (act / channel / feedback).
+                "phase_seconds": telemetry["phase_seconds"],
+            },
         }
         if rounds_array != rounds_object or completed_array != completed_object:
             # The equivalence suite makes this unreachable; keep the record
@@ -137,18 +145,16 @@ def bench_engines(
             )
         results.append(entry)
 
-    return {
-        "bench": "engine",
-        "paper": "conf_podc_GhaffariHK13",
-        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "preset": preset,
-        "channel_backend": backend,
-        "topology": topology,
-        "n": n,
-        "seeds": seeds,
-        "protocols": list(protocols),
-        "results": results,
-    }
+    return bench_record(
+        "engine",
+        preset=preset,
+        channel_backend=backend,
+        topology=topology,
+        n=n,
+        seeds=seeds,
+        protocols=list(protocols),
+        results=results,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -195,8 +201,6 @@ def main(argv: list[str] | None = None) -> int:
     except AnalysisError as exc:
         print(f"bench error: {exc}", file=sys.stderr)
         return 2
-    from repro.experiments.broadcast_bench import write_bench
-
     path = write_bench(record, args.out)
     for entry in record["results"]:
         speedup = entry.get("speedup_rounds_per_sec")

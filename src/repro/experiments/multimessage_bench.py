@@ -29,7 +29,6 @@ from __future__ import annotations
 import argparse
 import statistics
 import sys
-from datetime import datetime, timezone
 
 from repro.errors import AnalysisError, BroadcastFailure, TopologyError
 from repro.experiments.broadcast_bench import (
@@ -37,8 +36,8 @@ from repro.experiments.broadcast_bench import (
     _summary,
     merge_records,
     resolve_params,
-    write_bench,
 )
+from repro.experiments.record import bench_record, write_bench
 from repro.sim.runners import run_broadcast_batch
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
@@ -89,14 +88,17 @@ def sweep_multimessage(
         for k in k_values:
             rounds: list[int] = []
             transmissions: list[int] = []
+            energies: list[int] = []
             budgets: list[int] = []
             failures = 0
+            telemetry: dict = {}
             batch = run_broadcast_batch(
                 "multimessage",
                 nets,
                 seeds=range(len(nets)),
                 params=params,
                 options={"k_messages": k},
+                telemetry=telemetry,
             )
             for result in batch:
                 if isinstance(result, BroadcastFailure):
@@ -104,6 +106,7 @@ def sweep_multimessage(
                     continue
                 rounds.append(result.rounds_to_delivery)
                 transmissions.append(result.sim.total_transmissions)
+                energies.append(result.sim.traffic.energy)
                 budgets.append(result.budget)
             entry = {
                 "topology": family,
@@ -113,11 +116,14 @@ def sweep_multimessage(
                 "runs": seeds,
                 "failures": failures,
                 "source_eccentricity_mean": round(statistics.mean(diameters), 2),
+                "sweep_seconds": telemetry["wall_seconds"],
+                "sweep_rounds_per_sec": telemetry["rounds_per_sec"],
             }
             if rounds:
                 entry["rounds"] = _summary(rounds)
                 entry["rounds_all"] = rounds
                 entry["transmissions_mean"] = round(statistics.mean(transmissions), 2)
+                entry["energy_mean"] = round(statistics.mean(energies), 2)
                 entry["budget_mean"] = round(statistics.mean(budgets), 2)
             family_entries.append(entry)
         # Annotate after the whole k axis ran, so the k=1 baseline is found
@@ -140,19 +146,17 @@ def sweep_multimessage(
                     )
         results.extend(family_entries)
 
-    return {
-        "bench": "multimessage",
-        "paper": "conf_podc_GhaffariHK13",
-        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "preset": preset,
-        "channel_backend": backend,
-        "n": n,
-        "seeds": seeds,
-        "protocols": ["multimessage"],
-        "k_values": list(k_values),
-        "topologies": list(topologies),
-        "results": results,
-    }
+    return bench_record(
+        "multimessage",
+        preset=preset,
+        channel_backend=backend,
+        n=n,
+        seeds=seeds,
+        protocols=["multimessage"],
+        k_values=list(k_values),
+        topologies=list(topologies),
+        results=results,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -35,15 +35,22 @@ import argparse
 import sys
 import time
 import tracemalloc
-from datetime import datetime, timezone
 
 from repro.errors import AnalysisError, BroadcastFailure, TopologyError
-from repro.experiments.broadcast_bench import resolve_params, write_bench
+from repro.experiments.broadcast_bench import resolve_params
+from repro.experiments.record import bench_record, rounds_per_sec, write_bench
 from repro.sim import runners
 from repro.sim.runners import run_broadcast_batch
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
-__all__ = ["DEFAULT_SIZES", "SCALE_TOPOLOGIES", "bench_scale", "main"]
+__all__ = [
+    "DEFAULT_SIZES",
+    "PROBE_ROUNDS",
+    "SCALE_TOPOLOGIES",
+    "bench_scale",
+    "main",
+    "probe_peak_bytes",
+]
 
 #: The ISSUE's size axis: from comfortably-dense to past the dense wall.
 DEFAULT_SIZES: tuple[int, ...] = (256, 1024, 4096, 16384)
@@ -78,8 +85,12 @@ def _run_signature(result) -> tuple:
     return ("delivered", result.rounds_to_delivery, tuple(result.informed_rounds), totals)
 
 
-def _probe_peak_bytes(protocol: str, nets, params, seeds: int) -> int:
-    """Peak bytes allocated by a short run of this cell (operand + rounds)."""
+def probe_peak_bytes(protocol: str, nets, params, seeds: int) -> int:
+    """Peak bytes allocated by a short run of this cell (operand + rounds).
+
+    Public because the perf gate re-measures committed cells with exactly
+    this probe — same rounds, same tracer — so the two numbers compare.
+    """
     tracemalloc.start()
     tracemalloc.reset_peak()
     try:
@@ -165,18 +176,21 @@ def bench_scale(
                     continue
                 params = resolve_params(preset, backend)
                 entry["peak_mib"] = round(
-                    _probe_peak_bytes(protocol, nets, params, seeds) / (1 << 20), 2
+                    probe_peak_bytes(protocol, nets, params, seeds) / (1 << 20), 2
                 )
+                telemetry: dict = {}
                 t0 = time.perf_counter()
                 batch = run_broadcast_batch(
-                    protocol, nets, seeds=range(seeds), params=params
+                    protocol, nets, seeds=range(seeds), params=params,
+                    telemetry=telemetry,
                 )
                 seconds = time.perf_counter() - t0
                 rounds = sum(r.sim.rounds_run for r in batch)
                 entry.update(
                     seconds=round(seconds, 3),
                     rounds=rounds,
-                    rounds_per_sec=round(rounds / seconds, 1) if seconds > 0 else None,
+                    rounds_per_sec=rounds_per_sec(rounds, seconds),
+                    phase_seconds=telemetry["phase_seconds"],
                     completed=sum(
                         not isinstance(r, BroadcastFailure) for r in batch
                     ),
@@ -208,20 +222,18 @@ def bench_scale(
                     signatures["sparse"] == signatures["dense"]
                 )
 
-    return {
-        "bench": "scale",
-        "paper": "conf_podc_GhaffariHK13",
-        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "preset": preset,
-        "protocol": protocol,
-        "seeds": seeds,
-        "sizes": sorted(sizes),
-        "topologies": list(topologies),
-        "backends": list(backends),
-        "max_dense_mib": max_dense_bytes >> 20,
-        "probe_rounds": PROBE_ROUNDS,
-        "results": results,
-    }
+    return bench_record(
+        "scale",
+        preset=preset,
+        protocol=protocol,
+        seeds=seeds,
+        sizes=sorted(sizes),
+        topologies=list(topologies),
+        backends=list(backends),
+        max_dense_mib=max_dense_bytes >> 20,
+        probe_rounds=PROBE_ROUNDS,
+        results=results,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

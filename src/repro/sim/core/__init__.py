@@ -34,6 +34,8 @@ from repro.sim.core.batch import (
     BatchEngine,
     BatchItem,
     BatchOutcome,
+    RoundObserver,
+    TraceObserver,
     resolve_channel_backend,
     select_kernel_operand,
 )
@@ -47,7 +49,7 @@ from repro.sim.core.channel import (
     resolve_channel,
     round_stats,
 )
-from repro.sim.core.stats import RoundStats, SimResult
+from repro.sim.core.stats import RoundStats, RunTelemetry, SimResult, TrafficTotals
 
 __all__ = [
     "ArrayContext",
@@ -62,10 +64,14 @@ __all__ = [
     "DenseOperand",
     "KernelOperand",
     "ObjectProtocolAdapter",
+    "RoundObserver",
     "RoundPlan",
     "RoundStats",
+    "RunTelemetry",
     "SimResult",
     "SparseOperand",
+    "TraceObserver",
+    "TrafficTotals",
     "adjacency_operand",
     "array_protocol_class",
     "as_kernel_operand",

@@ -26,6 +26,7 @@ totals), so the choice is purely a speed/memory knob.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -44,7 +45,7 @@ from repro.sim.core.channel import (
     resolve_channel,
     round_stats,
 )
-from repro.sim.core.stats import RoundStats, SimResult
+from repro.sim.core.stats import RoundStats, RunTelemetry, SimResult, TrafficTotals
 from repro.sim.rng import SeededStreams
 from repro.sim.topology import RadioNetwork
 
@@ -53,9 +54,51 @@ __all__ = [
     "BatchEngine",
     "BatchItem",
     "BatchOutcome",
+    "RoundObserver",
+    "TraceObserver",
     "resolve_channel_backend",
     "select_kernel_operand",
 ]
+
+#: A streaming round consumer: called once per executed round with that
+#: round's omniscient :class:`RoundStats`, in round order — O(1) memory
+#: where ``trace=True`` is O(rounds · n).
+RoundObserver = Callable[[RoundStats], None]
+
+
+class TraceObserver:
+    """The observer that *is* trace collection: appends every round's record.
+
+    ``trace=True`` on the engines installs one of these as the first
+    observer, so the trace history and every user observer are guaranteed
+    to see the very same :class:`RoundStats` objects.
+    """
+
+    __slots__ = ("history",)
+
+    def __init__(self) -> None:
+        self.history: list[RoundStats] = []
+
+    def __call__(self, stats: RoundStats) -> None:
+        self.history.append(stats)
+
+
+#: Row indices of the per-node traffic accumulator (see ArrayEngine).
+_TX, _RX, _COLL, _AWAKE = range(4)
+
+
+def _traffic_totals(counters: np.ndarray) -> TrafficTotals:
+    """Freeze a ``(4, n)`` counter window into a :class:`TrafficTotals`."""
+    return TrafficTotals(
+        transmissions=tuple(int(v) for v in counters[_TX]),
+        receptions=tuple(int(v) for v in counters[_RX]),
+        collisions_heard=tuple(int(v) for v in counters[_COLL]),
+        awake_slots=tuple(int(v) for v in counters[_AWAKE]),
+    )
+
+
+def _new_phase_seconds() -> dict[str, float]:
+    return {"act": 0.0, "channel": 0.0, "feedback": 0.0}
 
 
 def resolve_channel_backend(network: RadioNetwork, params: ProtocolParams) -> str:
@@ -105,6 +148,7 @@ class ArrayEngine:
         n_bound: int | None = None,
         trace: bool = False,
         kernel_operand: KernelOperand | np.ndarray | None = None,
+        observers: Sequence[RoundObserver] | None = None,
     ):
         if n_bound is not None and n_bound < network.n:
             raise SimulationError(
@@ -127,10 +171,20 @@ class ArrayEngine:
             else select_kernel_operand(network, self.params)
         )
         self._round = 0
-        self._total_transmissions = 0
-        self._total_deliveries = 0
-        self._total_collisions = 0
-        self._history: list[RoundStats] = []
+        # Per-node streaming traffic counters (rows: transmissions, clean
+        # receptions, collisions heard, awake slots).  O(n) memory for the
+        # whole run; the SimResult scalar totals are sums of these rows,
+        # so per-node and scalar accounting cannot drift apart.
+        self._traffic = np.zeros((4, network.n), dtype=np.int64)
+        # Trace collection is itself just the first round observer.
+        self._trace_observer = TraceObserver() if trace else None
+        chain: list[RoundObserver] = [] if self._trace_observer is None else [
+            self._trace_observer
+        ]
+        chain.extend(observers or ())
+        self._observers: tuple[RoundObserver, ...] = tuple(chain)
+        self._phase_seconds = _new_phase_seconds()
+        self._wall_seconds = 0.0
         self._plan: RoundPlan | None = None
         protocol.setup(
             ArrayContext(
@@ -158,11 +212,31 @@ class ArrayEngine:
         """Which channel backend this engine runs on (``"dense"``/``"sparse"``)."""
         return self._operand.backend
 
+    @property
+    def history(self) -> tuple[RoundStats, ...]:
+        """The trace history so far (empty unless ``trace=True``)."""
+        if self._trace_observer is None:
+            return ()
+        return tuple(self._trace_observer.history)
+
+    def telemetry(self) -> RunTelemetry:
+        """Wall-clock observables accumulated so far (see :class:`RunTelemetry`).
+
+        ``wall_seconds`` covers time spent inside :meth:`run`; the phase
+        timers also cover :meth:`step` calls made directly.
+        """
+        return RunTelemetry(
+            rounds=self._round,
+            wall_seconds=self._wall_seconds,
+            phase_seconds=dict(self._phase_seconds),
+        )
+
     # ------------------------------------------------------------------ #
     # Round execution
     # ------------------------------------------------------------------ #
     def begin_round(self) -> RoundPlan:
         """Collect and validate the protocol's action masks for this round."""
+        t0 = time.perf_counter()
         plan = self.protocol.act(self._round)
         if not isinstance(plan, RoundPlan):
             raise SimulationError(
@@ -178,31 +252,52 @@ class ArrayEngine:
         # Disjointness of transmit/listen (half-duplex) is enforced by the
         # channel kernel itself, for every caller — no engine-side copy.
         self._plan = plan
+        self._phase_seconds["act"] += time.perf_counter() - t0
         return plan
 
+    def resolve_round(self) -> ChannelRound:
+        """Resolve the pending plan's channel round (timed as the kernel phase)."""
+        plan = self._plan
+        if plan is None:
+            raise SimulationError("resolve_round() called without begin_round()")
+        t0 = time.perf_counter()
+        channel = resolve_channel(self._operand, plan.transmit, plan.listen)
+        self._phase_seconds["channel"] += time.perf_counter() - t0
+        return channel
+
     def complete_round(self, channel: ChannelRound) -> RoundStats | None:
-        """Apply one resolved round: feedback, counters, optional trace."""
+        """Apply one resolved round: feedback, counters, observers.
+
+        Returns the round's :class:`RoundStats` when it was materialized
+        (tracing or observers installed), ``None`` otherwise.
+        """
         plan = self._plan
         if plan is None:
             raise SimulationError("complete_round() called without begin_round()")
+        t0 = time.perf_counter()
         r = self._round
         self.protocol.on_feedback(r, channel)
         self._round += 1
         self._plan = None
-        self._total_transmissions += int(np.count_nonzero(plan.transmit))
-        self._total_deliveries += int(np.count_nonzero(channel.clean))
-        self._total_collisions += int(np.count_nonzero(channel.collided))
-        if self.trace:
+        traffic = self._traffic
+        traffic[_TX] += plan.transmit
+        traffic[_RX] += channel.clean
+        traffic[_COLL] += channel.collided
+        # transmit and listen are disjoint (kernel precondition), so this
+        # counts exactly the radios-on rounds.
+        traffic[_AWAKE] += plan.transmit | plan.listen
+        stats: RoundStats | None = None
+        if self._observers:
             stats = round_stats(r, plan.transmit, channel)
-            self._history.append(stats)
-            return stats
-        return None
+            for observer in self._observers:
+                observer(stats)
+        self._phase_seconds["feedback"] += time.perf_counter() - t0
+        return stats
 
     def step(self) -> RoundStats | None:
-        """Execute one round; returns its record only when tracing."""
-        plan = self.begin_round()
-        channel = resolve_channel(self._operand, plan.transmit, plan.listen)
-        return self.complete_round(channel)
+        """Execute one round; returns its record when it was materialized."""
+        self.begin_round()
+        return self.complete_round(self.resolve_round())
 
     def run(
         self,
@@ -217,11 +312,11 @@ class ArrayEngine:
         """
         if max_rounds < 0:
             raise SimulationError(f"max_rounds must be non-negative, got {max_rounds}")
+        t0 = time.perf_counter()
         start_round = self._round
-        start_transmissions = self._total_transmissions
-        start_deliveries = self._total_deliveries
-        start_collisions = self._total_collisions
-        start_history = len(self._history)
+        start_traffic = self._traffic.copy()
+        history = self._trace_observer.history if self._trace_observer else []
+        start_history = len(history)
         stopped_early = False
         if stop_when is not None and stop_when(self):
             stopped_early = True
@@ -231,24 +326,41 @@ class ArrayEngine:
                 if stop_when is not None and stop_when(self):
                     stopped_early = True
                     break
-        return SimResult(
+        self._wall_seconds += time.perf_counter() - t0
+        return self._result(
             rounds_run=self._round - start_round,
             stopped_early=stopped_early,
-            total_transmissions=self._total_transmissions - start_transmissions,
-            total_deliveries=self._total_deliveries - start_deliveries,
-            total_collisions=self._total_collisions - start_collisions,
-            history=tuple(self._history[start_history:]),
+            counters=self._traffic - start_traffic,
+            history=tuple(history[start_history:]),
         )
 
     def snapshot(self, *, stopped_early: bool = False) -> SimResult:
         """A :class:`SimResult` covering every round executed so far."""
-        return SimResult(
+        return self._result(
             rounds_run=self._round,
             stopped_early=stopped_early,
-            total_transmissions=self._total_transmissions,
-            total_deliveries=self._total_deliveries,
-            total_collisions=self._total_collisions,
-            history=tuple(self._history),
+            counters=self._traffic,
+            history=self.history,
+        )
+
+    def _result(
+        self,
+        *,
+        rounds_run: int,
+        stopped_early: bool,
+        counters: np.ndarray,
+        history: tuple[RoundStats, ...],
+    ) -> SimResult:
+        """Freeze one run window; scalar totals are sums of the per-node rows."""
+        traffic = _traffic_totals(counters)
+        return SimResult(
+            rounds_run=rounds_run,
+            stopped_early=stopped_early,
+            total_transmissions=int(counters[_TX].sum()),
+            total_deliveries=int(counters[_RX].sum()),
+            total_collisions=int(counters[_COLL].sum()),
+            history=history,
+            traffic=traffic,
         )
 
 
@@ -287,8 +399,19 @@ class BatchEngine:
     ``done()`` (completed) or its round budget expires (failed).
     """
 
-    def __init__(self, items: Sequence[BatchItem], *, trace: bool = False):
+    def __init__(
+        self,
+        items: Sequence[BatchItem],
+        *,
+        trace: bool = False,
+        observers: Sequence[Callable[[int, RoundStats], None]] | None = None,
+    ):
+        """``observers`` get ``(item_index, RoundStats)`` for every executed
+        round of every item — the streaming counterpart of ``trace=True``,
+        at O(1) memory across the whole batch."""
         self.items = list(items)
+        self._phase_seconds = _new_phase_seconds()
+        self._wall_seconds = 0.0
         for item in self.items:
             if item.budget < 0:
                 raise SimulationError(
@@ -311,6 +434,16 @@ class BatchEngine:
             self._groups.setdefault(key, []).append(i)
             if key not in operands:
                 operands[key] = select_kernel_operand(item.network, params)
+        def item_observers(i: int) -> list[RoundObserver] | None:
+            if not observers:
+                return None
+
+            def forward(stats: RoundStats, _i: int = i) -> None:
+                for observer in observers:
+                    observer(_i, stats)
+
+            return [forward]
+
         self.engines = [
             ArrayEngine(
                 item.network,
@@ -321,12 +454,33 @@ class BatchEngine:
                 n_bound=item.n_bound,
                 trace=trace,
                 kernel_operand=operands[key],
+                observers=item_observers(i),
             )
-            for item, key in zip(self.items, keys)
+            for i, (item, key) in enumerate(zip(self.items, keys))
         ]
+
+    def telemetry(self) -> RunTelemetry:
+        """Batch-wide wall-clock observables (see :class:`RunTelemetry`).
+
+        ``rounds`` sums every instance's executed rounds; the phase timers
+        combine the fused kernel calls (timed here) with the per-engine
+        act/feedback phases.
+        """
+        phase = dict(self._phase_seconds)
+        rounds = 0
+        for engine in self.engines:
+            rounds += engine.round_index
+            for key, value in engine.telemetry().phase_seconds.items():
+                phase[key] += value
+        return RunTelemetry(
+            rounds=rounds,
+            wall_seconds=self._wall_seconds,
+            phase_seconds=phase,
+        )
 
     def run(self) -> list[BatchOutcome]:
         """Run every item to completion or budget; outcomes in item order."""
+        t_run = time.perf_counter()
         outcomes: list[BatchOutcome | None] = [None] * len(self.items)
         live: set[int] = set()
 
@@ -363,6 +517,7 @@ class BatchEngine:
                 plans = [self.engines[i].begin_round() for i in active]
                 transmit = np.stack([p.transmit for p in plans])
                 listen = np.stack([p.listen for p in plans])
+                t0 = time.perf_counter()
                 try:
                     channel = resolve_channel(
                         self.engines[active[0]].kernel_operand, transmit, listen
@@ -374,6 +529,7 @@ class BatchEngine:
                     raise SimulationError(
                         f"{exc} (batch rows are items {active}, in order)"
                     ) from None
+                self._phase_seconds["channel"] += time.perf_counter() - t0
                 for row, i in enumerate(active):
                     self.engines[i].complete_round(channel.row(row))
             for i in list(live):
@@ -381,4 +537,5 @@ class BatchEngine:
                     retire(i, completed=True)
                 elif self.engines[i].round_index >= self.items[i].budget:
                     retire(i, completed=False)
+        self._wall_seconds += time.perf_counter() - t_run
         return [outcome for outcome in outcomes if outcome is not None]

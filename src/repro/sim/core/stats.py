@@ -6,13 +6,26 @@ Both execution paths (the per-node object :class:`~repro.sim.engine.Engine`
 and the array-native :class:`~repro.sim.core.batch.ArrayEngine`) emit the
 same record types, which is what makes the object-vs-array equivalence
 suite a plain ``==`` over traces.
+
+Two telemetry records live alongside them:
+
+* :class:`TrafficTotals` — per-node channel-usage counters (transmissions,
+  clean receptions, collisions heard, awake slots), the paper's implicit
+  cost model made first-class.  Streamed as O(n) counters in the round
+  loop, so every run carries them at no asymptotic cost, and
+  bitwise-identical across the object/array paths and dense/sparse
+  backends (the masks they sum are).
+* :class:`RunTelemetry` — wall-clock observables (rounds/sec, per-phase
+  kernel timers).  Deliberately *not* part of :class:`SimResult`: wall
+  time differs between runs that are otherwise bitwise identical, so it
+  must never participate in equivalence comparisons.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RoundStats", "SimResult"]
+__all__ = ["RoundStats", "RunTelemetry", "SimResult", "TrafficTotals"]
 
 
 @dataclass(frozen=True)
@@ -27,6 +40,88 @@ class RoundStats:
     #: whether the run models collision detection.
     collisions: tuple[int, ...]
 
+    def as_row(self) -> dict:
+        """One JSON-ready row — the single serialization of a round.
+
+        Both the demo's prose trace and its ``--json`` trace render this
+        row, so the two outputs cannot drift apart.
+        """
+        return {
+            "round": self.round_index,
+            "transmitters": list(self.transmitters),
+            "deliveries": [list(pair) for pair in self.deliveries],
+            "collisions": list(self.collisions),
+        }
+
+
+@dataclass(frozen=True)
+class TrafficTotals:
+    """Per-node channel-usage totals over one run window.
+
+    The energy model is *awake slots*: a node pays one unit for every
+    round it has its radio on (transmitting or listening); sleeping is
+    free.  ``awake_slots[v] == transmissions[v] + listening rounds`` since
+    radios are half-duplex (transmit and listen are disjoint per round).
+    """
+
+    #: rounds in which each node transmitted.
+    transmissions: tuple[int, ...]
+    #: rounds in which each node cleanly received a message.
+    receptions: tuple[int, ...]
+    #: rounds in which each node heard >= 2 neighbours (ground truth,
+    #: whether or not the run models collision detection).
+    collisions_heard: tuple[int, ...]
+    #: rounds in which each node had its radio on (energy cost model).
+    awake_slots: tuple[int, ...]
+
+    @property
+    def energy(self) -> int:
+        """Total awake slots across all nodes — the run's energy cost."""
+        return sum(self.awake_slots)
+
+    def as_dict(self) -> dict:
+        """JSON-ready payload (per-node lists plus the energy total)."""
+        return {
+            "transmissions": list(self.transmissions),
+            "receptions": list(self.receptions),
+            "collisions_heard": list(self.collisions_heard),
+            "awake_slots": list(self.awake_slots),
+            "energy": self.energy,
+        }
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Wall-clock observables of an engine's execution so far.
+
+    Kept off :class:`SimResult` on purpose: two runs can be bitwise
+    identical in every simulation observable yet differ here, so timing
+    must never leak into equivalence comparisons.
+    """
+
+    #: rounds executed (across all instances, for a batch).
+    rounds: int
+    #: wall-clock seconds spent inside the engine's run loop.
+    wall_seconds: float
+    #: seconds per round-loop phase: ``act`` (protocol action collection),
+    #: ``channel`` (kernel resolution), ``feedback`` (protocol feedback +
+    #: counters).  Their sum is slightly below ``wall_seconds`` (loop
+    #: overhead, early-stop predicates).
+    phase_seconds: dict[str, float]
+
+    @property
+    def rounds_per_sec(self) -> float | None:
+        return self.rounds / self.wall_seconds if self.wall_seconds > 0 else None
+
+    def as_dict(self) -> dict:
+        rps = self.rounds_per_sec
+        return {
+            "rounds": self.rounds,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "rounds_per_sec": round(rps, 1) if rps is not None else None,
+            "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
+        }
+
 
 @dataclass(frozen=True)
 class SimResult:
@@ -39,3 +134,7 @@ class SimResult:
     total_collisions: int
     #: per-round records; empty unless the engine was built with ``trace=True``.
     history: tuple[RoundStats, ...] = field(default=())
+    #: per-node traffic/energy totals; always populated by the engines
+    #: (``None`` only on hand-built results).  The scalar totals above are
+    #: the sums of these counters by construction.
+    traffic: TrafficTotals | None = None

@@ -22,9 +22,11 @@ ground truth (transmitters, deliveries, collisions) so a run can be
 inspected without writing code.
 
 The ``--json`` payload has one shape for both run outcomes: the shared
-keys (topology header, ``budget``, ``rounds_run``, channel totals) are
-always present and ``status`` discriminates ``"delivered"`` from
-``"failed"``, so one consumer schema parses every run.  Value errors
+keys (topology header, ``budget``, ``rounds_run``, channel totals,
+per-node ``traffic`` counters with the ``energy`` awake-slot total, and
+wall-clock ``telemetry``) are always present and ``status`` discriminates
+``"delivered"`` from ``"failed"``, so one consumer schema parses every
+run.  Value errors
 caught before any simulation (a non-positive ``--budget``, a topology
 that cannot be built, ``--messages`` on a single-message protocol) emit a
 reduced payload with ``status: "error"`` and an ``error`` message, and
@@ -42,6 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.errors import BroadcastFailure, TopologyError
 from repro.params import ProtocolParams
@@ -137,26 +140,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# Both trace renderings come from RoundStats.as_row() — one row schema,
+# so the prose and JSON traces cannot drift apart.
 def _print_trace(history) -> None:
     for stats in history:
+        row = stats.as_row()
         print(
-            f"round {stats.round_index:>4d}: "
-            f"tx={list(stats.transmitters)} "
-            f"deliveries={[list(p) for p in stats.deliveries]} "
-            f"collisions={list(stats.collisions)}"
+            f"round {row['round']:>4d}: "
+            f"tx={row['transmitters']} "
+            f"deliveries={row['deliveries']} "
+            f"collisions={row['collisions']}"
         )
 
 
 def _trace_rows(history) -> list[dict]:
-    return [
-        {
-            "round": stats.round_index,
-            "transmitters": list(stats.transmitters),
-            "deliveries": [list(pair) for pair in stats.deliveries],
-            "collisions": list(stats.collisions),
-        }
-        for stats in history
-    ]
+    return [stats.as_row() for stats in history]
+
+
+def _traffic_payload(sim) -> dict | None:
+    """Per-node traffic/energy totals of a run, or ``None`` without a sim."""
+    if sim is None or sim.traffic is None:
+        return None
+    return sim.traffic.as_dict()
+
+
+def _telemetry_payload(wall_seconds: float, rounds: int | None, engine_telemetry: dict) -> dict:
+    """Wall-clock observables: demo-level wall time plus engine phase timers.
+
+    ``phase_seconds`` is only available on the array path (the object
+    drivers own their engines), so it is ``None`` for ``--engine object``.
+    """
+    rps = (
+        round(rounds / wall_seconds, 1)
+        if rounds and wall_seconds > 0
+        else None
+    )
+    return {
+        "wall_seconds": round(wall_seconds, 6),
+        "rounds_per_sec": rps,
+        "phase_seconds": engine_telemetry.get("phase_seconds"),
+    }
 
 
 def _usage_error(args, message: str) -> int:
@@ -232,6 +255,8 @@ def main(argv: list[str] | None = None) -> int:
         "preset": args.preset,
         "collision_detection": collision_detection,
     }
+    engine_telemetry: dict = {}
+    t0 = time.perf_counter()
     try:
         result = run_broadcast(
             args.protocol,
@@ -243,8 +268,10 @@ def main(argv: list[str] | None = None) -> int:
             budget=args.budget,
             trace=args.trace,
             options=options,
+            telemetry=engine_telemetry if args.engine == "array" else None,
         )
     except BroadcastFailure as exc:
+        wall_seconds = time.perf_counter() - t0
         # The failure carries the executed rounds, so --trace still shows
         # what happened — the case where a trace is most useful.
         sim = exc.sim
@@ -261,6 +288,12 @@ def main(argv: list[str] | None = None) -> int:
                 collisions=sim.total_collisions if sim is not None else None,
                 error=str(exc),
                 undelivered=sorted(exc.undelivered),
+                traffic=_traffic_payload(sim),
+                telemetry=_telemetry_payload(
+                    wall_seconds,
+                    sim.rounds_run if sim is not None else None,
+                    engine_telemetry,
+                ),
             )
             if args.trace:
                 payload["trace"] = _trace_rows(history)
@@ -270,6 +303,7 @@ def main(argv: list[str] | None = None) -> int:
                 _print_trace(history)
             print(f"FAILED: {exc} (undelivered: {sorted(exc.undelivered)})", file=sys.stderr)
         return 1
+    wall_seconds = time.perf_counter() - t0
     if args.trace and not args.json:
         _print_trace(result.sim.history)
     if args.json:
@@ -282,6 +316,10 @@ def main(argv: list[str] | None = None) -> int:
             collisions=result.sim.total_collisions,
             rounds_to_delivery=result.rounds_to_delivery,
             informed_rounds=list(result.informed_rounds),
+            traffic=_traffic_payload(result.sim),
+            telemetry=_telemetry_payload(
+                wall_seconds, result.sim.rounds_run, engine_telemetry
+            ),
         )
         if isinstance(result, DecayResult):
             payload.update(
@@ -322,6 +360,15 @@ def main(argv: list[str] | None = None) -> int:
         f"deliveries={result.sim.total_deliveries} "
         f"collisions={result.sim.total_collisions}"
     )
+    traffic = result.sim.traffic
+    if traffic is not None:
+        rounds = result.sim.rounds_run
+        rps = f"{rounds / wall_seconds:.1f}" if wall_seconds > 0 else "-"
+        print(
+            f"energy={traffic.energy} awake slots "
+            f"({traffic.energy / result.n:.1f}/node over {rounds} rounds)  "
+            f"throughput={rps} rounds/sec"
+        )
     return 0
 
 

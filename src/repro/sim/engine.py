@@ -32,9 +32,9 @@ from collections.abc import Callable, Sequence
 from repro.errors import BroadcastFailure, SimulationError
 from repro.params import ProtocolParams
 from repro.sim.core.adapter import ObjectProtocolAdapter
-from repro.sim.core.batch import ArrayEngine
-from repro.sim.core.channel import resolve_channel, round_stats
-from repro.sim.core.stats import RoundStats, SimResult
+from repro.sim.core.batch import ArrayEngine, RoundObserver
+from repro.sim.core.channel import round_stats
+from repro.sim.core.stats import RoundStats, RunTelemetry, SimResult
 from repro.sim.protocol import Protocol
 from repro.sim.topology import RadioNetwork
 
@@ -61,6 +61,7 @@ class Engine:
         params: ProtocolParams | None = None,
         n_bound: int | None = None,
         trace: bool = False,
+        observers: Sequence[RoundObserver] | None = None,
     ):
         if len(protocols) != network.n:
             raise SimulationError(
@@ -78,6 +79,7 @@ class Engine:
             params=params,
             n_bound=n_bound,
             trace=trace,
+            observers=observers,
         )
 
     # Classic attribute surface, delegated to the core.
@@ -110,6 +112,10 @@ class Engine:
         """Index of the next round to be executed."""
         return self._core.round_index
 
+    def telemetry(self) -> RunTelemetry:
+        """Wall-clock observables of the wrapped round loop so far."""
+        return self._core.telemetry()
+
     # ------------------------------------------------------------------ #
     # Round execution
     # ------------------------------------------------------------------ #
@@ -118,8 +124,9 @@ class Engine:
         core = self._core
         r = core.round_index
         plan = core.begin_round()
-        channel = resolve_channel(core.kernel_operand, plan.transmit, plan.listen)
-        # complete_round materializes the record itself when tracing.
+        channel = core.resolve_round()
+        # complete_round materializes the record itself when tracing or
+        # when observers are installed.
         stats = core.complete_round(channel)
         return stats if stats is not None else round_stats(r, plan.transmit, channel)
 

@@ -40,7 +40,7 @@ from repro.errors import BroadcastFailure, ConfigurationError
 from repro.params import ProtocolParams
 from repro.sim.core.array_protocol import BroadcastArrayProtocol
 from repro.sim.core.batch import BatchEngine, BatchItem
-from repro.sim.core.stats import SimResult
+from repro.sim.core.stats import RoundStats, SimResult
 from repro.sim.engine import Engine
 from repro.sim.protocol import BroadcastProtocol
 from repro.sim.topology import RadioNetwork
@@ -262,6 +262,8 @@ def run_broadcast_batch(
     budget: int | None = None,
     trace: bool = False,
     options: Mapping[str, Any] | None = None,
+    observers: Sequence[Callable[[int, RoundStats], None]] | None = None,
+    telemetry: dict | None = None,
 ) -> list[Any]:
     """Run one broadcast instance per (network, seed) through the batch engine.
 
@@ -271,7 +273,10 @@ def run_broadcast_batch(
     failures rather than crash, exactly like the object-path harnesses.
     ``options`` carries per-run protocol options (e.g. ``k_messages`` for
     the multi-message broadcast) into every instance's protocol factory and
-    budget rule.
+    budget rule.  ``observers`` stream every executed round as
+    ``(instance_index, RoundStats)`` in O(1) memory; passing a dict as
+    ``telemetry`` fills it with the batch's wall-clock observables
+    (:meth:`~repro.sim.core.stats.RunTelemetry.as_dict`) after the run.
     """
     spec = broadcast_spec(protocol)
     if seeds is None:
@@ -310,7 +315,10 @@ def run_broadcast_batch(
                 tag=seed,
             )
         )
-    outcomes = BatchEngine(items, trace=trace).run()
+    batch = BatchEngine(items, trace=trace, observers=observers)
+    outcomes = batch.run()
+    if telemetry is not None:
+        telemetry.update(batch.telemetry().as_dict())
     results: list[Any] = []
     for outcome in outcomes:
         item = outcome.item
@@ -361,6 +369,8 @@ def run_broadcast(
     budget: int | None = None,
     trace: bool = False,
     options: Mapping[str, Any] | None = None,
+    observers: Sequence[Callable[[int, RoundStats], None]] | None = None,
+    telemetry: dict | None = None,
 ) -> Any:
     """Run one broadcast end-to-end on the chosen execution path.
 
@@ -370,8 +380,18 @@ def run_broadcast(
     raise :class:`~repro.errors.BroadcastFailure` on an undelivered run.
     Per-run ``options`` (validated against the spec) reach the protocol on
     either path — object drivers accept them as keyword arguments.
+    ``observers``/``telemetry`` stream rounds and collect wall-clock
+    observables on the array path (the single instance has index 0);
+    they are rejected for ``engine="object"``, whose drivers own their
+    engines — drive an :class:`~repro.sim.engine.Engine` directly for
+    object-path observation.
     """
     if engine == "object":
+        if observers is not None or telemetry is not None:
+            raise ConfigurationError(
+                "observers/telemetry are array-path features; the object "
+                "drivers own their engines (build an Engine directly instead)"
+            )
         spec = broadcast_spec(protocol)
         kwargs: dict[str, Any] = _resolve_options(spec, options)
         if collision_detection is not None:
@@ -401,6 +421,8 @@ def run_broadcast(
         budget=budget,
         trace=trace,
         options=options,
+        observers=observers,
+        telemetry=telemetry,
     )
     if isinstance(result, BroadcastFailure):
         raise result

@@ -1,10 +1,17 @@
 """Tests for the repro.sim.demo smoke-test CLI."""
 
 import json
+import re
 
 import pytest
 
 from repro.sim import demo
+
+
+def _strip_wall_clock(prose: str) -> str:
+    """Mask the throughput token: wall-clock legitimately differs between
+    two runs that are bitwise-identical in every simulation observable."""
+    return re.sub(r"throughput=\S+", "throughput=X", prose)
 
 
 def test_demo_grid_succeeds(capsys):
@@ -69,7 +76,7 @@ def test_demo_engines_agree(capsys):
     array_out = capsys.readouterr().out
     assert demo.main(args + ["--engine", "object"]) == 0
     object_out = capsys.readouterr().out
-    assert array_out == object_out
+    assert _strip_wall_clock(array_out) == _strip_wall_clock(object_out)
 
 
 #: JSON keys shared by success and failure payloads — the one consumer
@@ -92,6 +99,8 @@ SHARED_JSON_KEYS = {
     "transmissions",
     "deliveries",
     "collisions",
+    "traffic",
+    "telemetry",
 }
 
 
@@ -132,6 +141,38 @@ def test_demo_json_payload_shapes_share_one_schema(capsys):
     assert "uninformed" in failure["error"]
 
 
+def test_demo_json_traffic_sums_to_scalar_totals(capsys):
+    rc = demo.main(
+        ["--topology", "grid", "--n", "36", "--seed", "3", "--protocol", "ghk", "--json"]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    traffic = payload["traffic"]
+    for key in ("transmissions", "receptions", "collisions_heard", "awake_slots"):
+        assert len(traffic[key]) == payload["n"]
+    assert sum(traffic["transmissions"]) == payload["transmissions"]
+    assert sum(traffic["receptions"]) == payload["deliveries"]
+    assert sum(traffic["collisions_heard"]) == payload["collisions"]
+    assert traffic["energy"] == sum(traffic["awake_slots"])
+    telemetry = payload["telemetry"]
+    assert telemetry["wall_seconds"] >= 0.0
+    assert set(telemetry["phase_seconds"]) == {"act", "channel", "feedback"}
+
+
+def test_demo_object_engine_json_omits_phase_timers(capsys):
+    # The object drivers own their engines, so the demo only has
+    # end-to-end wall clock for them — phase_seconds stays null rather
+    # than pretending to a precision it doesn't have.
+    rc = demo.main(
+        ["--topology", "line", "--n", "12", "--seed", "0", "--engine", "object",
+         "--json"]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["telemetry"]["phase_seconds"] is None
+    assert payload["traffic"]["energy"] > 0
+
+
 def test_demo_budget_override_forces_failure(capsys):
     rc = demo.main(["--topology", "line", "--n", "12", "--seed", "0", "--budget", "2"])
     assert rc == 1
@@ -169,7 +210,7 @@ def test_demo_multimessage_engines_agree(capsys):
     assert demo.main(args + ["--engine", "array"]) == 0
     array_out = capsys.readouterr().out
     assert demo.main(args + ["--engine", "object"]) == 0
-    assert array_out == capsys.readouterr().out
+    assert _strip_wall_clock(array_out) == _strip_wall_clock(capsys.readouterr().out)
 
 
 def test_demo_messages_flag_rejected_for_single_message_protocols(capsys):

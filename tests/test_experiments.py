@@ -16,6 +16,7 @@ from repro.experiments import (
     write_bench,
 )
 from repro.experiments.broadcast_bench import main
+from repro.experiments.record import SCHEMA_VERSION
 from repro.experiments.engine_bench import main as engine_main
 from repro.experiments.multimessage_bench import main as multimessage_main
 from repro.experiments.scale_bench import main as scale_main
@@ -30,12 +31,20 @@ class TestSweep:
 
     def test_record_header(self, record):
         assert record["bench"] == "broadcast"
+        assert record["schema_version"] == SCHEMA_VERSION
         assert record["paper"] == "conf_podc_GhaffariHK13"
         assert record["n"] == 16
         assert record["seeds"] == 3
         assert record["topologies"] == ["line", "gnp"]
         assert record["protocols"] == ["decay", "ghk"]
         assert "created_utc" in record
+
+    def test_entries_carry_traffic_and_sweep_telemetry(self, record):
+        for entry in record["results"]:
+            assert entry["sweep_seconds"] >= 0.0
+            if "rounds" in entry:
+                assert entry["energy_mean"] > 0
+                assert entry["collisions_mean"] >= 0
 
     def test_one_entry_per_family_protocol_pair(self, record):
         keys = {(e["topology"], e["protocol"]) for e in record["results"]}
@@ -189,6 +198,7 @@ class TestEngineBench:
 
     def test_record_header(self, record):
         assert record["bench"] == "engine"
+        assert record["schema_version"] == SCHEMA_VERSION
         assert record["paper"] == "conf_podc_GhaffariHK13"
         assert record["topology"] == "line"
         assert record["protocols"] == ["decay", "ghk"]
@@ -200,6 +210,12 @@ class TestEngineBench:
             assert entry["object"]["completed"] == entry["array"]["completed"]
             assert entry["object"]["rounds"] > 0
             assert entry["speedup_rounds_per_sec"] > 0
+
+    def test_array_entries_carry_phase_timers(self, record):
+        for entry in record["results"]:
+            phases = entry["array"]["phase_seconds"]
+            assert set(phases) == {"act", "channel", "feedback"}
+            assert all(v >= 0.0 for v in phases.values())
 
     def test_validation(self):
         with pytest.raises(AnalysisError, match="at least one node"):
@@ -256,6 +272,7 @@ class TestMultiMessageBench:
 
     def test_record_header(self, record):
         assert record["bench"] == "multimessage"
+        assert record["schema_version"] == SCHEMA_VERSION
         assert record["paper"] == "conf_podc_GhaffariHK13"
         assert record["n"] == 16
         assert record["seeds"] == 3
@@ -355,6 +372,8 @@ class TestScaleBench:
 
     def test_record_header(self, record):
         assert record["bench"] == "scale"
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["paper"] == "conf_podc_GhaffariHK13"
         assert record["sizes"] == [16, 32]
         assert record["backends"] == ["dense", "sparse"]
         assert record["protocol"] == "ghk"
