@@ -1,0 +1,361 @@
+"""Fault-injection robustness sweep (``BENCH_faults.json``).
+
+For every (protocol, fault family, intensity level) cell the harness runs
+a seed batch under a sampled :class:`~repro.sim.faults.FaultSchedule` and
+reports how delivery degrades against the fault-free baseline of the same
+protocol: delivery rate under the *paper* round budget, mean rounds to
+delivery among the runs that still finish, the slowdown factor, the mean
+energy cost, and the injected-fault totals actually realized::
+
+    python -m repro.experiments.robustness_bench --seeds 20 \
+        --out BENCH_faults.json
+
+Fault families and their level axes:
+
+* ``crash`` — per-node crash probability (one down window per crashed
+  node, start/length sampled within the budget horizon);
+* ``loss``  — per-reception drop probability;
+* ``jam``   — number of always-on jamming nodes (never the source);
+* ``flip``  — per-edge probability of one outage window (the network is
+  time-varying for the run).
+
+Every cell keeps the protocol's *default* budget — degradation under the
+paper budget is the question, so no fault slack is granted — and every
+schedule is sampled from the run seed on its own stream, making the whole
+record reproducible bit for bit.  A ``none`` cell per protocol records
+the fault-free baseline the ratios are computed against.
+
+``--max-seconds`` turns the run into a smoke test: exit non-zero when
+any executed cell needs longer than the ceiling (CI runs a tiny sweep
+this way, mirroring the scale smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.errors import AnalysisError, BroadcastFailure, TopologyError
+from repro.experiments.broadcast_bench import resolve_params
+from repro.experiments.record import bench_record, rounds_per_sec, write_bench
+from repro.sim import runners
+from repro.sim.faults import sample_fault_schedule
+from repro.sim.runners import run_broadcast_batch
+from repro.sim.topology import TOPOLOGY_NAMES, from_spec
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "DEFAULT_PROTOCOLS",
+    "FAULT_FAMILIES",
+    "bench_faults",
+    "main",
+]
+
+#: The fault families swept, in record order; ``none`` is the implicit
+#: per-protocol baseline cell.
+FAULT_FAMILIES: tuple[str, ...] = ("crash", "loss", "jam", "flip")
+
+#: Default intensity levels per family (jam levels are jammer counts).
+DEFAULT_LEVELS: dict[str, tuple[float, ...]] = {
+    "crash": (0.1, 0.25),
+    "loss": (0.1, 0.3),
+    "jam": (1, 2),
+    "flip": (0.15,),
+}
+
+#: Decay (collision-blind baseline), GHK (the paper's broadcast) and the
+#: k-message pipeline — the three protocol families the repo reproduces.
+DEFAULT_PROTOCOLS: tuple[str, ...] = ("decay", "ghk", "multimessage")
+
+#: Messages pipelined in the multimessage cells (k=1 would collapse the
+#: pipeline to single-message GHK).
+MULTIMESSAGE_K = 2
+
+
+def _schedule_kwargs(family: str, level: float) -> dict:
+    """Map one (family, level) pair to :func:`sample_fault_schedule` knobs."""
+    if family == "crash":
+        return {"crash_rate": float(level)}
+    if family == "loss":
+        return {"loss_rate": float(level)}
+    if family == "jam":
+        return {"jammers": int(level)}
+    if family == "flip":
+        return {"edge_flip_rate": float(level)}
+    raise AnalysisError(f"unknown fault family {family!r}; choose from {FAULT_FAMILIES}")
+
+
+def _run_cell(
+    protocol: str,
+    nets,
+    seeds: list[int],
+    params,
+    options: dict,
+    schedules,
+) -> dict:
+    """One batch run -> the cell's delivery/rounds/energy/fault metrics."""
+    telemetry: dict = {}
+    t0 = time.perf_counter()
+    batch = run_broadcast_batch(
+        protocol,
+        nets,
+        seeds=seeds,
+        params=params,
+        options=options or None,
+        faults=schedules,
+        telemetry=telemetry,
+    )
+    seconds = time.perf_counter() - t0
+    delivered = [r for r in batch if not isinstance(r, BroadcastFailure)]
+    rounds = [r.rounds_to_delivery for r in delivered]
+    sims = [r.sim for r in batch]
+    total_rounds = sum(sim.rounds_run for sim in sims)
+    entry: dict = {
+        "runs": len(batch),
+        "delivered": len(delivered),
+        "delivery_rate": round(len(delivered) / len(batch), 4),
+        "seconds": round(seconds, 3),
+        "rounds_per_sec": rounds_per_sec(total_rounds, seconds),
+    }
+    if rounds:
+        entry["rounds"] = {
+            "mean": round(sum(rounds) / len(rounds), 1),
+            "min": min(rounds),
+            "max": max(rounds),
+        }
+        entry["energy_mean"] = round(
+            sum(r.sim.traffic.energy for r in delivered) / len(delivered), 1
+        )
+    fault_sims = [sim for sim in sims if sim.faults is not None]
+    if fault_sims:
+        entry["fault_totals_mean"] = {
+            "dropped_receptions": round(
+                sum(s.faults.dropped_receptions for s in fault_sims) / len(fault_sims), 1
+            ),
+            "jammed_listens": round(
+                sum(s.faults.jammed_listens for s in fault_sims) / len(fault_sims), 1
+            ),
+            "crashed_node_rounds": round(
+                sum(s.faults.crashed_node_rounds for s in fault_sims) / len(fault_sims), 1
+            ),
+            "edge_flips_applied": round(
+                sum(s.faults.edge_flips_applied for s in fault_sims) / len(fault_sims), 1
+            ),
+        }
+    return entry
+
+
+def bench_faults(
+    *,
+    n: int = 36,
+    topology: str = "grid",
+    protocols: tuple[str, ...] = DEFAULT_PROTOCOLS,
+    seeds: int = 20,
+    preset: str = "fast",
+    levels: dict[str, tuple[float, ...]] | None = None,
+) -> dict:
+    """Run the robustness sweep and return the bench record as a dict."""
+    if n < 2:
+        raise AnalysisError(f"need at least 2 nodes, got n={n}")
+    if seeds < 1:
+        raise AnalysisError(f"need at least one seed, got seeds={seeds}")
+    if topology not in TOPOLOGY_NAMES:
+        raise AnalysisError(
+            f"unknown topology {topology!r}; choose from {TOPOLOGY_NAMES}"
+        )
+    for protocol in protocols:
+        if protocol not in runners.BROADCAST_PROTOCOL_NAMES:
+            raise AnalysisError(
+                f"unknown protocol {protocol!r}; "
+                f"choose from {runners.BROADCAST_PROTOCOL_NAMES}"
+            )
+    if not protocols:
+        raise AnalysisError("need at least one protocol")
+    levels = dict(DEFAULT_LEVELS) if levels is None else levels
+    unknown = [f for f in levels if f not in FAULT_FAMILIES]
+    if unknown:
+        raise AnalysisError(
+            f"unknown fault families {unknown}; choose from {FAULT_FAMILIES}"
+        )
+    params = resolve_params(preset)
+    seed_list = list(range(seeds))
+    try:
+        nets = [from_spec(topology, n, seed=seed) for seed in seed_list]
+    except TopologyError as exc:
+        raise AnalysisError(f"cannot build {topology} with n={n}: {exc}") from exc
+
+    results = []
+    for protocol in protocols:
+        spec = runners.broadcast_spec(protocol)
+        options = (
+            {"k_messages": MULTIMESSAGE_K}
+            if "k_messages" in spec.option_names
+            else {}
+        )
+        budgets = [
+            spec.budget_for(params, net, net.n, options) for net in nets
+        ]
+
+        def cell_header(family: str, level: float, *, protocol: str = protocol) -> dict:
+            return {
+                "protocol": protocol,
+                "family": family,
+                "level": level,
+                "topology": topology,
+                "n": n,
+            }
+
+        baseline = cell_header("none", 0.0)
+        baseline.update(_run_cell(protocol, nets, seed_list, params, options, None))
+        results.append(baseline)
+        baseline_rounds = baseline.get("rounds", {}).get("mean")
+
+        for family in FAULT_FAMILIES:
+            for level in levels.get(family, ()):
+                schedules = [
+                    sample_fault_schedule(
+                        net,
+                        seed=seed,
+                        horizon=budget,
+                        **_schedule_kwargs(family, level),
+                    )
+                    for net, seed, budget in zip(nets, seed_list, budgets)
+                ]
+                entry = cell_header(family, level)
+                entry.update(
+                    _run_cell(protocol, nets, seed_list, params, options, schedules)
+                )
+                cell_rounds = entry.get("rounds", {}).get("mean")
+                if baseline_rounds and cell_rounds:
+                    entry["slowdown_vs_fault_free"] = round(
+                        cell_rounds / baseline_rounds, 2
+                    )
+                results.append(entry)
+
+    return bench_record(
+        "faults",
+        preset=preset,
+        topology=topology,
+        n=n,
+        seeds=seeds,
+        protocols=list(protocols),
+        families=list(FAULT_FAMILIES),
+        levels={k: list(v) for k, v in levels.items()},
+        multimessage_k=MULTIMESSAGE_K,
+        results=results,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.robustness_bench",
+        description="Sweep broadcast delivery degradation under injected faults.",
+    )
+    parser.add_argument("--n", type=int, default=36, help="network size (default: 36)")
+    parser.add_argument(
+        "--topology",
+        default="grid",
+        choices=TOPOLOGY_NAMES,
+        help="topology family (default: grid)",
+    )
+    parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(DEFAULT_PROTOCOLS),
+        metavar="PROTOCOL",
+        help=f"protocols to sweep (default: {' '.join(DEFAULT_PROTOCOLS)})",
+    )
+    parser.add_argument("--seeds", type=int, default=20, help="seeds per cell")
+    parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
+    parser.add_argument(
+        "--crash-rates",
+        type=float,
+        nargs="*",
+        default=None,
+        metavar="P",
+        help=f"crash-rate levels (default: {list(DEFAULT_LEVELS['crash'])})",
+    )
+    parser.add_argument(
+        "--loss-rates",
+        type=float,
+        nargs="*",
+        default=None,
+        metavar="P",
+        help=f"loss-rate levels (default: {list(DEFAULT_LEVELS['loss'])})",
+    )
+    parser.add_argument(
+        "--jammers",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="J",
+        help=f"jammer-count levels (default: {list(DEFAULT_LEVELS['jam'])})",
+    )
+    parser.add_argument(
+        "--flip-rates",
+        type=float,
+        nargs="*",
+        default=None,
+        metavar="P",
+        help=f"edge-flip-rate levels (default: {list(DEFAULT_LEVELS['flip'])})",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="smoke-test ceiling: fail if any executed cell takes longer "
+        "than this many seconds",
+    )
+    parser.add_argument("--out", default="BENCH_faults.json", help="output JSON path")
+    args = parser.parse_args(argv)
+    levels = dict(DEFAULT_LEVELS)
+    for family, override in (
+        ("crash", args.crash_rates),
+        ("loss", args.loss_rates),
+        ("jam", args.jammers),
+        ("flip", args.flip_rates),
+    ):
+        if override is not None:
+            levels[family] = tuple(override)
+    try:
+        record = bench_faults(
+            n=args.n,
+            topology=args.topology,
+            protocols=tuple(args.protocols),
+            seeds=args.seeds,
+            preset=args.preset,
+            levels=levels,
+        )
+    except AnalysisError as exc:
+        print(f"bench error: {exc}", file=sys.stderr)
+        return 2
+    path = write_bench(record, args.out)
+    for entry in record["results"]:
+        label = (
+            f"{entry['protocol']:>12s} {entry['family']:>5s}={entry['level']:<5}"
+        )
+        rounds = entry.get("rounds", {}).get("mean")
+        slowdown = entry.get("slowdown_vs_fault_free")
+        extra = f"  slowdown={slowdown}x" if slowdown is not None else ""
+        print(
+            f"{label}: delivery={entry['delivery_rate']:.2f} "
+            f"rounds-mean={rounds}{extra}"
+        )
+    print(f"wrote {path}")
+    if args.max_seconds is not None:
+        executed = [e["seconds"] for e in record["results"] if "seconds" in e]
+        slowest = max(executed, default=0.0)
+        if slowest > args.max_seconds:
+            print(
+                f"SMOKE FAIL: slowest cell took {slowest:.2f}s > "
+                f"ceiling {args.max_seconds:.2f}s",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"smoke OK: every cell under {args.max_seconds:.2f}s ceiling")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -42,6 +42,7 @@ __all__ = [
 DEFAULT_RECORDS: tuple[str, ...] = (
     "BENCH_broadcast.json",
     "BENCH_engine.json",
+    "BENCH_faults.json",
     "BENCH_multimessage.json",
     "BENCH_scale.json",
 )
@@ -87,6 +88,17 @@ def record_metrics(record: dict) -> dict[str, float]:
                 metrics[f"{cell}/speedup_vs_decay"] = entry["speedup_vs_decay"]
             if entry.get("sweep_rounds_per_sec") is not None:
                 metrics[f"{cell}/sweep_rounds_per_sec"] = entry["sweep_rounds_per_sec"]
+        elif bench == "faults":
+            cell = (
+                f"{entry['protocol']}/{entry['family']}={entry['level']}"
+                f"/n={entry['n']}"
+            )
+            if entry.get("delivery_rate") is not None:
+                metrics[f"{cell}/delivery_rate"] = entry["delivery_rate"]
+            if "rounds" in entry:
+                metrics[f"{cell}/rounds_mean"] = entry["rounds"]["mean"]
+            if entry.get("slowdown_vs_fault_free") is not None:
+                metrics[f"{cell}/slowdown"] = entry["slowdown_vs_fault_free"]
         elif bench == "multimessage":
             cell = f"{entry['topology']}/k={entry['k_messages']}/n={entry['n']}"
             if "rounds" in entry:

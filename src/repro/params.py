@@ -112,6 +112,14 @@ class ProtocolParams:
     #: fixed gather/bincount overhead loses even on very sparse graphs —
     #: measured crossover is n ≈ 200–1000 depending on family and batch.
     sparse_min_n: int = 1024
+    #: Multiplicative slack applied to the default round budget when a run
+    #: carries a non-empty fault schedule (message loss and jamming slow
+    #: delivery; crashes and outages stall it).  1.0 means faulted runs
+    #: keep the paper budget — degradation under that budget is exactly
+    #: what the robustness bench measures — while a caller studying
+    #: eventual delivery can grant headroom without touching the clean
+    #: budget rules.
+    fault_budget_slack: float = 1.0
 
     def __post_init__(self) -> None:
         # Invalid constants must fail at construction, not deep inside a
@@ -283,6 +291,7 @@ class ProtocolParams:
             "batch_size_factor",
             "ghk_backoff_factor",
             "multi_message_pipeline_factor",
+            "fault_budget_slack",
         ]
         for name in positive_fields:
             if getattr(self, name) <= 0:

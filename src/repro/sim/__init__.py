@@ -41,6 +41,7 @@ from repro.sim.core import (
     ChannelRound,
     CoinDeck,
     DenseOperand,
+    FaultTotals,
     ObjectProtocolAdapter,
     RoundPlan,
     SparseOperand,
@@ -53,6 +54,14 @@ from repro.sim.core import (
 )
 from repro.sim.decay import DecayArrayProtocol, DecayProtocol, DecayResult, run_decay
 from repro.sim.engine import Engine, RoundStats, SimResult, run_until_all_informed
+from repro.sim.faults import (
+    EdgeFlip,
+    FaultSchedule,
+    FaultState,
+    Jammer,
+    NodeCrash,
+    sample_fault_schedule,
+)
 from repro.sim.ghk_broadcast import (
     GHKArrayProtocol,
     GHKBroadcastProtocol,
@@ -125,16 +134,22 @@ __all__ = [
     "DecayProtocol",
     "DecayResult",
     "DenseOperand",
+    "EdgeFlip",
     "Engine",
+    "FaultSchedule",
+    "FaultState",
+    "FaultTotals",
     "Feedback",
     "FeedbackKind",
     "GHKArrayProtocol",
     "GHKBroadcastProtocol",
     "GHKResult",
+    "Jammer",
     "MultiMessageArrayProtocol",
     "MultiMessageProtocol",
     "MultiMessageResult",
     "NodeContext",
+    "NodeCrash",
     "ObjectProtocolAdapter",
     "Protocol",
     "RadioNetwork",
@@ -173,6 +188,7 @@ __all__ = [
     "run_ghk_broadcast",
     "run_multi_message",
     "run_until_all_informed",
+    "sample_fault_schedule",
     "select_kernel_operand",
     "star",
     "stream",

@@ -49,7 +49,13 @@ from repro.sim.core.channel import (
     resolve_channel,
     round_stats,
 )
-from repro.sim.core.stats import RoundStats, RunTelemetry, SimResult, TrafficTotals
+from repro.sim.core.stats import (
+    FaultTotals,
+    RoundStats,
+    RunTelemetry,
+    SimResult,
+    TrafficTotals,
+)
 
 __all__ = [
     "ArrayContext",
@@ -62,6 +68,7 @@ __all__ = [
     "ChannelRound",
     "CoinDeck",
     "DenseOperand",
+    "FaultTotals",
     "KernelOperand",
     "ObjectProtocolAdapter",
     "RoundObserver",

@@ -45,7 +45,14 @@ from repro.sim.core.channel import (
     resolve_channel,
     round_stats,
 )
-from repro.sim.core.stats import RoundStats, RunTelemetry, SimResult, TrafficTotals
+from repro.sim.core.stats import (
+    FaultTotals,
+    RoundStats,
+    RunTelemetry,
+    SimResult,
+    TrafficTotals,
+)
+from repro.sim.faults import FaultSchedule, FaultState
 from repro.sim.rng import SeededStreams
 from repro.sim.topology import RadioNetwork
 
@@ -149,6 +156,7 @@ class ArrayEngine:
         trace: bool = False,
         kernel_operand: KernelOperand | np.ndarray | None = None,
         observers: Sequence[RoundObserver] | None = None,
+        faults: FaultSchedule | None = None,
     ):
         if n_bound is not None and n_bound < network.n:
             raise SimulationError(
@@ -186,6 +194,15 @@ class ArrayEngine:
         self._phase_seconds = _new_phase_seconds()
         self._wall_seconds = 0.0
         self._plan: RoundPlan | None = None
+        self._last_channel: ChannelRound | None = None
+        # An attached *empty* schedule is a no-op by construction: no
+        # FaultState is built, no engine-stream coin is ever drawn, and
+        # SimResult.faults stays None — bitwise identical to no schedule.
+        self._fault_state: FaultState | None = None
+        if faults is not None and not faults.is_empty:
+            self._fault_state = FaultState(
+                faults, network, self._operand, self.streams.engine
+            )
         protocol.setup(
             ArrayContext(
                 n_nodes=network.n,
@@ -207,6 +224,28 @@ class ArrayEngine:
         """The channel-kernel operand (shared across a batch group's engines)."""
         return self._operand
 
+    def round_operand(self) -> KernelOperand:
+        """The operand to resolve the *current* round against.
+
+        Identical to :attr:`kernel_operand` on fault-free runs; under a
+        fault schedule with edge flips it is the operand for the current
+        (time-varying) adjacency, valid only after :meth:`begin_round`
+        has advanced the flips for this round.
+        """
+        if self._fault_state is None:
+            return self._operand
+        return self._fault_state.operand
+
+    @property
+    def last_channel(self) -> ChannelRound | None:
+        """The most recently completed round as the radios perceived it.
+
+        Under a fault schedule this is the post-fault channel (loss and
+        jamming applied) — the one the protocol feedback and any
+        materialized :class:`RoundStats` saw — not the raw kernel output.
+        """
+        return self._last_channel
+
     @property
     def backend(self) -> str:
         """Which channel backend this engine runs on (``"dense"``/``"sparse"``)."""
@@ -218,6 +257,17 @@ class ArrayEngine:
         if self._trace_observer is None:
             return ()
         return tuple(self._trace_observer.history)
+
+    def fault_totals(self) -> FaultTotals | None:
+        """Lifetime injected-fault totals across every round executed so far.
+
+        ``None`` when no fault layer is attached.  Unlike the per-window
+        totals a :meth:`run` result carries, this accumulates across
+        multiple ``run()`` calls on the same engine.
+        """
+        if self._fault_state is None:
+            return None
+        return self._fault_state.totals(self._fault_state.counters)
 
     def telemetry(self) -> RunTelemetry:
         """Wall-clock observables accumulated so far (see :class:`RunTelemetry`).
@@ -251,9 +301,30 @@ class ArrayEngine:
             )
         # Disjointness of transmit/listen (half-duplex) is enforced by the
         # channel kernel itself, for every caller — no engine-side copy.
+        if self._fault_state is not None:
+            crashed = self._fault_state.begin_round(self._round)
+            if crashed is not None:
+                # A crashed node's radio is off: it neither transmits nor
+                # listens, and (via the awake counter summing these masks)
+                # accrues no awake slots.  The protocol's own arrays are
+                # untouched — nodes revive with their state intact.
+                plan = RoundPlan(
+                    transmit=plan.transmit & ~crashed,
+                    listen=plan.listen & ~crashed,
+                )
         self._plan = plan
         self._phase_seconds["act"] += time.perf_counter() - t0
         return plan
+
+    def discard_plan(self) -> None:
+        """Drop a pending plan without executing it.
+
+        Error-path hygiene for batch callers: when one engine's ``act()``
+        raises mid-group, its siblings have already planned this round —
+        discarding leaves them in the documented "no round in flight"
+        state instead of dangling.
+        """
+        self._plan = None
 
     def resolve_round(self) -> ChannelRound:
         """Resolve the pending plan's channel round (timed as the kernel phase)."""
@@ -261,7 +332,7 @@ class ArrayEngine:
         if plan is None:
             raise SimulationError("resolve_round() called without begin_round()")
         t0 = time.perf_counter()
-        channel = resolve_channel(self._operand, plan.transmit, plan.listen)
+        channel = resolve_channel(self.round_operand(), plan.transmit, plan.listen)
         self._phase_seconds["channel"] += time.perf_counter() - t0
         return channel
 
@@ -276,6 +347,12 @@ class ArrayEngine:
             raise SimulationError("complete_round() called without begin_round()")
         t0 = time.perf_counter()
         r = self._round
+        if self._fault_state is not None:
+            # Loss and jamming rewrite what the radios *perceive*; from
+            # here on (feedback, counters, stats) only the perceived
+            # channel exists, keeping all observables self-consistent.
+            channel = self._fault_state.perceive(r, plan.listen, channel)
+        self._last_channel = channel
         self.protocol.on_feedback(r, channel)
         self._round += 1
         self._plan = None
@@ -315,6 +392,8 @@ class ArrayEngine:
         t0 = time.perf_counter()
         start_round = self._round
         start_traffic = self._traffic.copy()
+        fault_state = self._fault_state
+        start_faults = None if fault_state is None else fault_state.counters.copy()
         history = self._trace_observer.history if self._trace_observer else []
         start_history = len(history)
         stopped_early = False
@@ -332,6 +411,9 @@ class ArrayEngine:
             stopped_early=stopped_early,
             counters=self._traffic - start_traffic,
             history=tuple(history[start_history:]),
+            fault_counters=(
+                None if fault_state is None else fault_state.counters - start_faults
+            ),
         )
 
     def snapshot(self, *, stopped_early: bool = False) -> SimResult:
@@ -341,6 +423,9 @@ class ArrayEngine:
             stopped_early=stopped_early,
             counters=self._traffic,
             history=self.history,
+            fault_counters=(
+                None if self._fault_state is None else self._fault_state.counters
+            ),
         )
 
     def _result(
@@ -350,9 +435,14 @@ class ArrayEngine:
         stopped_early: bool,
         counters: np.ndarray,
         history: tuple[RoundStats, ...],
+        fault_counters: np.ndarray | None = None,
     ) -> SimResult:
         """Freeze one run window; scalar totals are sums of the per-node rows."""
         traffic = _traffic_totals(counters)
+        faults: FaultTotals | None = None
+        if fault_counters is not None:
+            assert self._fault_state is not None
+            faults = self._fault_state.totals(fault_counters)
         return SimResult(
             rounds_run=rounds_run,
             stopped_early=stopped_early,
@@ -361,6 +451,7 @@ class ArrayEngine:
             total_collisions=int(counters[_COLL].sum()),
             history=history,
             traffic=traffic,
+            faults=faults,
         )
 
 
@@ -377,6 +468,10 @@ class BatchItem:
     n_bound: int | None = None
     #: opaque caller bookkeeping, carried through to the outcome.
     tag: Any = None
+    #: optional fault schedule (see :mod:`repro.sim.faults`); items whose
+    #: schedules differ are never fused into one kernel call, because a
+    #: schedule with edge flips makes the operand time-varying.
+    faults: FaultSchedule | None = None
 
 
 @dataclass
@@ -423,13 +518,21 @@ class BatchEngine:
         # its group — items whose params pick different backends must not
         # share an operand.  The topology key is cached on the network, so
         # repeated items cost O(1) here rather than a re-serialization each.
-        self._groups: dict[tuple[bytes, str], list[int]] = {}
-        operands: dict[tuple[bytes, str], KernelOperand] = {}
-        keys: list[tuple[bytes, str]] = []
+        # The fault-schedule identity is folded into the key: under edge
+        # flips the per-round operand is time-varying, so only items
+        # sharing the *same* schedule object (and therefore the same
+        # flip timeline — groups run in lockstep) may share a fused call;
+        # a missing or empty schedule is identity 0, so fault-free items
+        # keep fusing exactly as before.
+        self._groups: dict[tuple[bytes, str, int], list[int]] = {}
+        operands: dict[tuple[bytes, str, int], KernelOperand] = {}
+        keys: list[tuple[bytes, str, int]] = []
         for i, item in enumerate(self.items):
             params = item.params if item.params is not None else ProtocolParams.paper()
             backend = resolve_channel_backend(item.network, params)
-            key = (item.network.adjacency_key(), backend)
+            no_faults = item.faults is None or item.faults.is_empty
+            fault_token = 0 if no_faults else id(item.faults)
+            key = (item.network.adjacency_key(), backend, fault_token)
             keys.append(key)
             self._groups.setdefault(key, []).append(i)
             if key not in operands:
@@ -455,9 +558,18 @@ class BatchEngine:
                 trace=trace,
                 kernel_operand=operands[key],
                 observers=item_observers(i),
+                faults=item.faults,
             )
             for i, (item, key) in enumerate(zip(self.items, keys))
         ]
+
+    def group_sizes(self) -> list[int]:
+        """Instance count of each fused kernel group, in first-seen order.
+
+        One group per distinct (topology, backend, fault-schedule identity)
+        key — the batch's fusion structure, exposed for tests and tuning.
+        """
+        return [len(indices) for indices in self._groups.values()]
 
     def telemetry(self) -> RunTelemetry:
         """Batch-wide wall-clock observables (see :class:`RunTelemetry`).
@@ -514,18 +626,35 @@ class BatchEngine:
                             f"{exc} (item {active[0]})"
                         ) from None
                     continue
-                plans = [self.engines[i].begin_round() for i in active]
+                plans = []
+                for i in active:
+                    try:
+                        plans.append(self.engines[i].begin_round())
+                    except SimulationError as exc:
+                        # Attribute the failing item (as the singleton and
+                        # kernel paths do) and discard the plans the
+                        # already-planned siblings are holding, so no
+                        # engine is left with a half-started round.
+                        for j in active:
+                            self.engines[j].discard_plan()
+                        raise SimulationError(f"{exc} (item {i})") from None
                 transmit = np.stack([p.transmit for p in plans])
                 listen = np.stack([p.listen for p in plans])
                 t0 = time.perf_counter()
                 try:
+                    # All engines in a group share one fault schedule (it
+                    # is part of the group key) and run in lockstep, so
+                    # the first engine's per-round operand is the group's.
                     channel = resolve_channel(
-                        self.engines[active[0]].kernel_operand, transmit, listen
+                        self.engines[active[0]].round_operand(), transmit, listen
                     )
                 except SimulationError as exc:
                     # The kernel reports positions in the fused stack; map
                     # them back to this batch's item indices so the culprit
                     # is the caller's item, not a row of the live subset.
+                    # Same hygiene as the act() path: no dangling plans.
+                    for j in active:
+                        self.engines[j].discard_plan()
                     raise SimulationError(
                         f"{exc} (batch rows are items {active}, in order)"
                     ) from None

@@ -154,12 +154,23 @@ class SparseOperand:
         # [b·n, (b+1)·n) key range.  The raveled layout is row-major, so
         # the keys for any smaller batch are a prefix of the largest array
         # built so far — one cached array serves every batch size as
-        # instances retire, at no extra memory.
-        if self._keys is None or self._keys.size < batch * self._rows.size:
+        # instances retire.  The cache is bounded, not grow-only: once the
+        # live batch falls below half the cached size (instances retiring
+        # from a large fused group), the array is rebuilt at the current
+        # size so the peak-batch footprint is released instead of staying
+        # pinned for the operand's lifetime.  The half threshold means a
+        # batch draining one instance at a time rebuilds O(log batch)
+        # times, not every round.
+        needed = batch * self._rows.size
+        if (
+            self._keys is None
+            or self._keys.size < needed
+            or self._keys.size > 2 * needed
+        ):
             self._keys = (
                 self._rows[None, :] + (np.arange(batch) * self.n)[:, None]
             ).ravel()
-        keys = self._keys[: batch * self._rows.size]
+        keys = self._keys[:needed]
         out = np.bincount(keys, weights=flat.ravel(), minlength=batch * self.n)
         return (
             out.reshape(weights.shape[:-1] + (self.n,)).astype(np.int64)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RoundStats", "RunTelemetry", "SimResult", "TrafficTotals"]
+__all__ = ["FaultTotals", "RoundStats", "RunTelemetry", "SimResult", "TrafficTotals"]
 
 
 @dataclass(frozen=True)
@@ -91,6 +91,35 @@ class TrafficTotals:
 
 
 @dataclass(frozen=True)
+class FaultTotals:
+    """Injected-fault totals over one run window (see :mod:`repro.sim.faults`).
+
+    Populated only when the run carries a non-empty
+    :class:`~repro.sim.faults.FaultSchedule`; fault-free runs keep
+    ``SimResult.faults`` as ``None`` so equivalence comparisons against
+    schedule-less runs stay a plain ``==``.
+    """
+
+    #: clean receptions converted to perceived silence by message loss.
+    dropped_receptions: int
+    #: listener-rounds spent inside an active jammer's coverage (each one
+    #: perceived as a collision).
+    jammed_listens: int
+    #: node-rounds spent crashed (radio off, no awake slots accrued).
+    crashed_node_rounds: int
+    #: edge flips applied to the time-varying adjacency.
+    edge_flips_applied: int
+
+    def as_dict(self) -> dict:
+        return {
+            "dropped_receptions": self.dropped_receptions,
+            "jammed_listens": self.jammed_listens,
+            "crashed_node_rounds": self.crashed_node_rounds,
+            "edge_flips_applied": self.edge_flips_applied,
+        }
+
+
+@dataclass(frozen=True)
 class RunTelemetry:
     """Wall-clock observables of an engine's execution so far.
 
@@ -138,3 +167,7 @@ class SimResult:
     #: (``None`` only on hand-built results).  The scalar totals above are
     #: the sums of these counters by construction.
     traffic: TrafficTotals | None = None
+    #: injected-fault totals; ``None`` unless the run carried a non-empty
+    #: fault schedule (so fault-free results compare ``==`` regardless of
+    #: whether an empty schedule object was attached).
+    faults: FaultTotals | None = None

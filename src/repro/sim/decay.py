@@ -40,6 +40,7 @@ from repro.sim.core.array_protocol import (
 from repro.sim.core.channel import ChannelRound
 from repro.sim.core.stats import SimResult
 from repro.sim.engine import run_until_all_informed
+from repro.sim.faults import FaultSchedule
 from repro.sim.protocol import (
     Action,
     BroadcastProtocol,
@@ -161,6 +162,7 @@ def run_decay(
     n_bound: int | None = None,
     budget: int | None = None,
     trace: bool = False,
+    faults: FaultSchedule | None = None,
 ) -> DecayResult:
     """Broadcast ``message`` from the network's source via Decay.
 
@@ -179,6 +181,7 @@ def run_decay(
         n_bound=n_bound,
         budget=budget,
         trace=trace,
+        faults=faults,
     )
     sim = run_until_all_informed(prepared.engine, prepared.budget, label="Decay", seed=seed)
     return DecayResult(

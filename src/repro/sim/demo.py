@@ -37,6 +37,15 @@ before any JSON contract applies.
 ``--backend {auto,dense,sparse}`` selects the channel-kernel backend
 (dense matmul vs sparse CSR); ``auto`` picks by topology density and both
 give bitwise-identical runs, so the flag is purely a speed/memory knob.
+
+``--crash-rate``, ``--loss-rate`` and ``--jammers`` inject seeded faults
+(see :mod:`repro.sim.faults`): each non-source node crashes for one
+window with the crash probability, each clean reception is dropped with
+the loss probability, and the jammer count places always-on jammers.
+The schedule is sampled from the run seed (its own stream — coins are
+unchanged), both ``--json`` shapes carry the knobs under ``"faults"``
+plus the injected totals under ``"fault_totals"``, and all three at
+their defaults leave the run bitwise-identical to a fault-free one.
 """
 
 from __future__ import annotations
@@ -53,6 +62,7 @@ from repro.sim.core import resolve_channel_backend
 from repro.sim.decay import DecayResult
 from repro.sim.ghk_broadcast import GHKResult
 from repro.sim.multi_message import MultiMessageResult
+from repro.sim.faults import sample_fault_schedule
 from repro.sim.runners import run_broadcast
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
@@ -128,6 +138,30 @@ def build_parser() -> argparse.ArgumentParser:
         "CSR per topology density; results are identical either way",
     )
     parser.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability each non-source node crashes for one window "
+        "of the run (seeded fault injection; default: 0)",
+    )
+    parser.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability each clean reception is independently dropped "
+        "(default: 0)",
+    )
+    parser.add_argument(
+        "--jammers",
+        type=int,
+        default=0,
+        metavar="J",
+        help="number of always-on jamming nodes (never the source); every "
+        "listener they cover perceives a collision (default: 0)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit one machine-readable JSON object instead of prose",
@@ -162,6 +196,13 @@ def _traffic_payload(sim) -> dict | None:
     if sim is None or sim.traffic is None:
         return None
     return sim.traffic.as_dict()
+
+
+def _fault_totals_payload(sim) -> dict | None:
+    """Injected-fault totals of a run, or ``None`` on fault-free runs."""
+    if sim is None or sim.faults is None:
+        return None
+    return sim.faults.as_dict()
 
 
 def _telemetry_payload(wall_seconds: float, rounds: int | None, engine_telemetry: dict) -> dict:
@@ -212,6 +253,17 @@ def main(argv: list[str] | None = None) -> int:
         return _usage_error(
             args, f"--budget must be a positive round count, got {args.budget}"
         )
+    for flag, rate in (("--crash-rate", args.crash_rate), ("--loss-rate", args.loss_rate)):
+        if not 0.0 <= rate <= 1.0:
+            return _usage_error(args, f"{flag} must be in [0, 1], got {rate}")
+    if args.jammers < 0:
+        return _usage_error(args, f"--jammers must be non-negative, got {args.jammers}")
+    if args.jammers >= args.n:
+        return _usage_error(
+            args,
+            f"--jammers {args.jammers} needs at least {args.jammers + 1} nodes "
+            f"(the source is never a jammer), got --n {args.n}",
+        )
     params = ProtocolParams.paper() if args.preset == "paper" else ProtocolParams.fast()
     params = params.with_overrides(channel_backend=args.backend)
     spec = runners.broadcast_spec(args.protocol)
@@ -238,6 +290,23 @@ def main(argv: list[str] | None = None) -> int:
     collision_detection = (
         True if spec.requires_collision_detection else args.collision_detection
     )
+    # All knobs at zero means no schedule at all (not an empty one), so
+    # the default demo run is bitwise-identical to the pre-fault CLI.
+    faults = None
+    if args.crash_rate > 0 or args.loss_rate > 0 or args.jammers > 0:
+        horizon = (
+            args.budget
+            if args.budget is not None
+            else spec.budget_for(params, net, net.n, options)
+        )
+        faults = sample_fault_schedule(
+            net,
+            seed=args.seed,
+            horizon=horizon,
+            crash_rate=args.crash_rate,
+            loss_rate=args.loss_rate,
+            jammers=args.jammers,
+        )
     # Report both the requested backend policy and the backend it resolves
     # to on this topology, so --backend auto payloads are self-describing.
     payload = {
@@ -254,6 +323,11 @@ def main(argv: list[str] | None = None) -> int:
         "messages": args.messages,
         "preset": args.preset,
         "collision_detection": collision_detection,
+        "faults": {
+            "crash_rate": args.crash_rate,
+            "loss_rate": args.loss_rate,
+            "jammers": args.jammers,
+        },
     }
     engine_telemetry: dict = {}
     t0 = time.perf_counter()
@@ -269,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
             trace=args.trace,
             options=options,
             telemetry=engine_telemetry if args.engine == "array" else None,
+            faults=faults,
         )
     except BroadcastFailure as exc:
         wall_seconds = time.perf_counter() - t0
@@ -289,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
                 error=str(exc),
                 undelivered=sorted(exc.undelivered),
                 traffic=_traffic_payload(sim),
+                fault_totals=_fault_totals_payload(sim),
                 telemetry=_telemetry_payload(
                     wall_seconds,
                     sim.rounds_run if sim is not None else None,
@@ -317,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
             rounds_to_delivery=result.rounds_to_delivery,
             informed_rounds=list(result.informed_rounds),
             traffic=_traffic_payload(result.sim),
+            fault_totals=_fault_totals_payload(result.sim),
             telemetry=_telemetry_payload(
                 wall_seconds, result.sim.rounds_run, engine_telemetry
             ),
@@ -360,6 +437,13 @@ def main(argv: list[str] | None = None) -> int:
         f"deliveries={result.sim.total_deliveries} "
         f"collisions={result.sim.total_collisions}"
     )
+    fault_totals = result.sim.faults
+    if fault_totals is not None:
+        print(
+            f"faults: dropped={fault_totals.dropped_receptions} "
+            f"jammed={fault_totals.jammed_listens} "
+            f"crashed-node-rounds={fault_totals.crashed_node_rounds}"
+        )
     traffic = result.sim.traffic
     if traffic is not None:
         rounds = result.sim.rounds_run

@@ -35,6 +35,7 @@ from repro.sim.core.adapter import ObjectProtocolAdapter
 from repro.sim.core.batch import ArrayEngine, RoundObserver
 from repro.sim.core.channel import round_stats
 from repro.sim.core.stats import RoundStats, RunTelemetry, SimResult
+from repro.sim.faults import FaultSchedule
 from repro.sim.protocol import Protocol
 from repro.sim.topology import RadioNetwork
 
@@ -62,6 +63,7 @@ class Engine:
         n_bound: int | None = None,
         trace: bool = False,
         observers: Sequence[RoundObserver] | None = None,
+        faults: FaultSchedule | None = None,
     ):
         if len(protocols) != network.n:
             raise SimulationError(
@@ -80,6 +82,7 @@ class Engine:
             n_bound=n_bound,
             trace=trace,
             observers=observers,
+            faults=faults,
         )
 
     # Classic attribute surface, delegated to the core.
@@ -126,9 +129,15 @@ class Engine:
         plan = core.begin_round()
         channel = core.resolve_round()
         # complete_round materializes the record itself when tracing or
-        # when observers are installed.
+        # when observers are installed.  The fallback builds it from the
+        # channel the radios *perceived* (faults applied), which is the
+        # raw one on fault-free runs — so traced and untraced runs agree.
         stats = core.complete_round(channel)
-        return stats if stats is not None else round_stats(r, plan.transmit, channel)
+        if stats is not None:
+            return stats
+        perceived = core.last_channel
+        assert perceived is not None
+        return round_stats(r, plan.transmit, perceived)
 
     def run(
         self,

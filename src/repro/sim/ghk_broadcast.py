@@ -59,6 +59,7 @@ from repro.sim.core.array_protocol import (
 from repro.sim.core.channel import ChannelRound
 from repro.sim.core.stats import SimResult
 from repro.sim.engine import run_until_all_informed
+from repro.sim.faults import FaultSchedule
 from repro.sim.protocol import (
     Action,
     BroadcastProtocol,
@@ -266,6 +267,7 @@ def run_ghk_broadcast(
     n_bound: int | None = None,
     budget: int | None = None,
     trace: bool = False,
+    faults: FaultSchedule | None = None,
 ) -> GHKResult:
     """Broadcast ``message`` from the source with the GHK protocol.
 
@@ -295,6 +297,7 @@ def run_ghk_broadcast(
         n_bound=n_bound,
         budget=budget,
         trace=trace,
+        faults=faults,
     )
     sim = run_until_all_informed(prepared.engine, prepared.budget, label="GHK", seed=seed)
     return GHKResult(

@@ -95,6 +95,7 @@ from repro.sim.core.array_protocol import (
 from repro.sim.core.channel import ChannelRound
 from repro.sim.core.stats import SimResult
 from repro.sim.engine import run_until_all_informed
+from repro.sim.faults import FaultSchedule
 from repro.sim.protocol import (
     Action,
     BroadcastProtocol,
@@ -480,6 +481,7 @@ def run_multi_message(
     n_bound: int | None = None,
     budget: int | None = None,
     trace: bool = False,
+    faults: FaultSchedule | None = None,
 ) -> MultiMessageResult:
     """Broadcast ``k_messages`` distinct messages from the source, pipelined.
 
@@ -507,6 +509,7 @@ def run_multi_message(
         budget=budget,
         trace=trace,
         options={"k_messages": k_messages},
+        faults=faults,
     )
     sim = run_until_all_informed(
         prepared.engine, prepared.budget, label="k-message GHK", seed=seed

@@ -32,6 +32,7 @@ and the experiments harness rely on to treat protocols uniformly.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -42,6 +43,7 @@ from repro.sim.core.array_protocol import BroadcastArrayProtocol
 from repro.sim.core.batch import BatchEngine, BatchItem
 from repro.sim.core.stats import RoundStats, SimResult
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultSchedule
 from repro.sim.protocol import BroadcastProtocol
 from repro.sim.topology import RadioNetwork
 
@@ -131,6 +133,26 @@ def _resolve_options(
     return dict(options)
 
 
+def _default_budget(
+    spec: BroadcastSpec,
+    params: ProtocolParams,
+    network: RadioNetwork,
+    bound: int,
+    options: Mapping[str, Any],
+    faults: FaultSchedule | None,
+) -> int:
+    """The spec's budget rule, scaled by the fault slack on faulted runs.
+
+    An explicit caller budget is never scaled — only the default — and a
+    missing or empty schedule leaves the default untouched, so fault-free
+    budgets are bit-for-bit what they were.
+    """
+    budget = spec.budget_for(params, network, bound, options)
+    if faults is not None and not faults.is_empty and params.fault_budget_slack != 1.0:
+        budget = int(math.ceil(budget * params.fault_budget_slack))
+    return budget
+
+
 def register_broadcast_spec(spec: BroadcastSpec) -> BroadcastSpec:
     """Register a protocol's driver spec (called by the algorithm modules)."""
     global BROADCAST_PROTOCOL_NAMES
@@ -197,6 +219,7 @@ def prepare_broadcast_engine(
     budget: int | None = None,
     trace: bool = False,
     options: Mapping[str, Any] | None = None,
+    faults: FaultSchedule | None = None,
 ) -> PreparedBroadcast:
     """Resolve defaults and build the engine for one object-path run.
 
@@ -224,7 +247,7 @@ def prepare_broadcast_engine(
     params = params if params is not None else ProtocolParams.paper()
     bound = n_bound if n_bound is not None else network.n
     if budget is None:
-        budget = spec.budget_for(params, network, bound, options)
+        budget = _default_budget(spec, params, network, bound, options, faults)
     protocols = tuple(
         spec.protocol_factory(message=message, **options) for _ in range(network.n)
     )
@@ -236,6 +259,7 @@ def prepare_broadcast_engine(
         params=params,
         n_bound=bound,
         trace=trace,
+        faults=faults,
     )
     return PreparedBroadcast(
         engine=engine,
@@ -264,6 +288,7 @@ def run_broadcast_batch(
     options: Mapping[str, Any] | None = None,
     observers: Sequence[Callable[[int, RoundStats], None]] | None = None,
     telemetry: dict | None = None,
+    faults: FaultSchedule | Sequence[FaultSchedule | None] | None = None,
 ) -> list[Any]:
     """Run one broadcast instance per (network, seed) through the batch engine.
 
@@ -277,6 +302,9 @@ def run_broadcast_batch(
     ``(instance_index, RoundStats)`` in O(1) memory; passing a dict as
     ``telemetry`` fills it with the batch's wall-clock observables
     (:meth:`~repro.sim.core.stats.RunTelemetry.as_dict`) after the run.
+    ``faults`` attaches fault schedules (see :mod:`repro.sim.faults`):
+    one schedule shared by every instance, or a sequence with one entry
+    (possibly ``None``) per instance.
     """
     spec = broadcast_spec(protocol)
     if seeds is None:
@@ -287,6 +315,15 @@ def run_broadcast_batch(
             f"need one seed per network: got {len(seeds)} seeds "
             f"for {len(networks)} networks"
         )
+    if faults is None or isinstance(faults, FaultSchedule):
+        fault_list: list[FaultSchedule | None] = [faults] * len(networks)
+    else:
+        fault_list = list(faults)
+        if len(fault_list) != len(networks):
+            raise ConfigurationError(
+                f"need one fault schedule per network: got {len(fault_list)} "
+                f"schedules for {len(networks)} networks"
+            )
     if collision_detection is None:
         collision_detection = spec.default_collision_detection
     if spec.requires_collision_detection and not collision_detection:
@@ -297,7 +334,7 @@ def run_broadcast_batch(
     options = _resolve_options(spec, options)
     params = params if params is not None else ProtocolParams.paper()
     items: list[BatchItem] = []
-    for net, seed in zip(networks, seeds):
+    for net, seed, schedule in zip(networks, seeds, fault_list):
         bound = n_bound if n_bound is not None else net.n
         items.append(
             BatchItem(
@@ -306,13 +343,14 @@ def run_broadcast_batch(
                 budget=(
                     budget
                     if budget is not None
-                    else spec.budget_for(params, net, bound, options)
+                    else _default_budget(spec, params, net, bound, options, schedule)
                 ),
                 seed=seed,
                 collision_detection=collision_detection,
                 params=params,
                 n_bound=bound,
                 tag=seed,
+                faults=schedule,
             )
         )
     batch = BatchEngine(items, trace=trace, observers=observers)
@@ -371,6 +409,7 @@ def run_broadcast(
     options: Mapping[str, Any] | None = None,
     observers: Sequence[Callable[[int, RoundStats], None]] | None = None,
     telemetry: dict | None = None,
+    faults: FaultSchedule | None = None,
 ) -> Any:
     """Run one broadcast end-to-end on the chosen execution path.
 
@@ -396,6 +435,8 @@ def run_broadcast(
         kwargs: dict[str, Any] = _resolve_options(spec, options)
         if collision_detection is not None:
             kwargs["collision_detection"] = collision_detection
+        if faults is not None:
+            kwargs["faults"] = faults
         return spec.runner(
             network,
             params,
@@ -423,6 +464,7 @@ def run_broadcast(
         options=options,
         observers=observers,
         telemetry=telemetry,
+        faults=faults,
     )
     if isinstance(result, BroadcastFailure):
         raise result
