@@ -9,8 +9,11 @@ baseline against the paper's collision-detection broadcast;
 against the array-native batch engine over the same sweep;
 :mod:`repro.experiments.multimessage_bench` sweeps the k-message pipeline
 across message counts and measures whether pipelining beats k sequential
-broadcasts; :mod:`repro.experiments.scale_bench` compares the dense and
-sparse channel backends across network sizes (rounds/sec and peak memory).
+broadcasts; :mod:`repro.experiments.scale_bench` compares the dense,
+sparse, and bit-packed channel backends across network sizes (rounds/sec
+and peak memory); :mod:`repro.experiments.kernel_bench` isolates the
+per-round kernel reductions (neighbour counts, sender recovery) per
+backend at the operand level.
 
 Every record is stamped through :mod:`repro.experiments.record`
 (``schema_version``, ``created_utc``); :mod:`repro.experiments.trajectory`
@@ -25,6 +28,7 @@ __all__ = [
     "DEFAULT_TOPOLOGIES",
     "SCHEMA_VERSION",
     "bench_engines",
+    "bench_kernel",
     "bench_record",
     "bench_scale",
     "build_trajectory",
@@ -65,6 +69,10 @@ def __getattr__(name: str):
         from repro.experiments import scale_bench
 
         return scale_bench.bench_scale
+    if name == "bench_kernel":
+        from repro.experiments import kernel_bench
+
+        return kernel_bench.bench_kernel
     if name in ("SCHEMA_VERSION", "bench_record"):
         from repro.experiments import record
 

@@ -51,9 +51,10 @@ def resolve_params(preset: str, backend: str = "auto") -> ProtocolParams:
     """
     if preset not in ("paper", "fast"):
         raise AnalysisError(f"unknown preset {preset!r}; choose paper or fast")
-    if backend not in ("auto", "dense", "sparse"):
+    if backend not in ("auto", "dense", "sparse", "bitpacked"):
         raise AnalysisError(
-            f"unknown channel backend {backend!r}; choose auto, dense or sparse"
+            f"unknown channel backend {backend!r}; choose auto, dense, sparse "
+            "or bitpacked"
         )
     params = ProtocolParams.paper() if preset == "paper" else ProtocolParams.fast()
     return params.with_overrides(channel_backend=backend)
@@ -252,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
     parser.add_argument(
         "--backend",
-        choices=("auto", "dense", "sparse"),
+        choices=("auto", "dense", "sparse", "bitpacked"),
         default="auto",
         help="channel-kernel backend (auto picks by topology density; "
         "results are identical either way)",

@@ -176,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--preset", choices=("paper", "fast"), default="fast")
     parser.add_argument(
         "--backend",
-        choices=("auto", "dense", "sparse"),
+        choices=("auto", "dense", "sparse", "bitpacked"),
         default="auto",
         help="channel-kernel backend for the array path (results identical)",
     )

@@ -9,6 +9,12 @@ tolerance::
 
     python -m repro.experiments.perf_gate --seeds 8 --scale-n 1024
 
+``--kernel-record BENCH_kernel.json`` additionally gates the operand-level
+kernel microbench at one committed size (``--kernel-n``): counts
+throughput within the speed tolerance, and the operand's own footprint
+exactly (``operand_mib`` is arithmetic, not a measurement, so any drift
+is a real operand-layout change).
+
 A cell regresses when ``fresh rounds/sec < committed × (1 − speed-tol)``
 or ``fresh peak MiB > committed × (1 + mem-tol)``.  The default speed
 tolerance is deliberately loose (0.6: fresh must keep 40% of committed
@@ -36,6 +42,7 @@ from pathlib import Path
 
 from repro.errors import AnalysisError
 from repro.experiments.engine_bench import bench_engines
+from repro.experiments.kernel_bench import bench_kernel
 from repro.experiments.record import SCHEMA_VERSION, write_bench
 from repro.experiments.scale_bench import bench_scale
 
@@ -43,6 +50,7 @@ __all__ = [
     "DEFAULT_MEM_TOLERANCE",
     "DEFAULT_SPEED_TOLERANCE",
     "gate_engine",
+    "gate_kernel",
     "gate_scale",
     "load_record",
     "main",
@@ -204,6 +212,61 @@ def gate_scale(
     return lines, violations
 
 
+def gate_kernel(
+    committed: dict,
+    fresh: dict,
+    speed_tolerance: float = DEFAULT_SPEED_TOLERANCE,
+) -> tuple[list[str], int]:
+    """Compare kernel-microbench cells: counts throughput and operand size.
+
+    Cells match on (topology, n, backend).  ``operand_mib`` is compared
+    exactly — it is computed from the operand's shape, not measured — so
+    any change means the operand layout itself changed and the committed
+    record must be regenerated deliberately.
+    """
+    fresh_by_key = {
+        (e["topology"], e["n"], e["backend"]): e
+        for e in fresh.get("results", ())
+        if "skipped" not in e
+    }
+    lines: list[str] = []
+    violations = 0
+    matched = 0
+    for entry in committed.get("results", ()):
+        if "skipped" in entry:
+            continue
+        key = (entry["topology"], entry["n"], entry["backend"])
+        other = fresh_by_key.get(key)
+        if other is None:
+            continue
+        matched += 1
+        label = f"kernel {entry['topology']}/n={entry['n']}/{entry['backend']}"
+        line, bad = _check_speed(
+            f"{label} counts",
+            entry.get("counts_per_sec"),
+            other.get("counts_per_sec"),
+            speed_tolerance,
+        )
+        lines.append(line.replace("rounds/sec", "counts/sec"))
+        violations += bad
+        if entry.get("operand_mib") != other.get("operand_mib"):
+            lines.append(
+                f"REGRESSION {label}: operand_mib changed "
+                f"{entry.get('operand_mib')} -> {other.get('operand_mib')} "
+                "(operand layout drifted; regenerate BENCH_kernel.json "
+                "deliberately if intended)"
+            )
+            violations += 1
+        else:
+            lines.append(f"OK {label}: operand_mib {entry.get('operand_mib')}")
+    if not matched:
+        raise AnalysisError(
+            "no kernel cells matched between the committed and fresh records; "
+            "the gate would be vacuous (is --kernel-n a committed size?)"
+        )
+    return lines, violations
+
+
 def _fresh_engine(committed: dict, seeds: int) -> dict:
     protocols = committed.get("protocols")
     return bench_engines(
@@ -234,6 +297,23 @@ def _fresh_scale(committed: dict, scale_n: int) -> dict:
     )
 
 
+def _fresh_kernel(committed: dict, kernel_n: int) -> dict:
+    sizes = committed.get("sizes", ())
+    if kernel_n not in sizes:
+        raise AnalysisError(
+            f"--kernel-n {kernel_n} is not a committed size {list(sizes)}; "
+            "the gate needs a size both records measured"
+        )
+    return bench_kernel(
+        sizes=(kernel_n,),
+        topology=committed.get("topology", "gnp"),
+        backends=tuple(committed.get("backends", ("dense", "sparse", "bitpacked"))),
+        repeats=committed.get("repeats", 10),
+        seed=committed.get("seed", 0),
+        max_operand_bytes=committed.get("max_operand_mib", 1024) << 20,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.perf_gate",
@@ -258,6 +338,15 @@ def main(argv: list[str] | None = None) -> int:
         help="the single committed scale size to re-measure (default: 1024)",
     )
     parser.add_argument(
+        "--kernel-record", default=None, metavar="PATH",
+        help="committed kernel microbench record to gate as well "
+        "(e.g. BENCH_kernel.json; off unless given)",
+    )
+    parser.add_argument(
+        "--kernel-n", type=int, default=4096,
+        help="the single committed kernel size to re-measure (default: 4096)",
+    )
+    parser.add_argument(
         "--speed-tolerance", type=float, default=DEFAULT_SPEED_TOLERANCE,
         help=f"allowed fractional throughput drop (default: {DEFAULT_SPEED_TOLERANCE})",
     )
@@ -272,6 +361,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--fresh-scale", default=None, metavar="PATH",
         help="use this pre-measured scale record instead of re-running",
+    )
+    parser.add_argument(
+        "--fresh-kernel", default=None, metavar="PATH",
+        help="use this pre-measured kernel record instead of re-running",
     )
     parser.add_argument(
         "--out-dir", default=None, metavar="DIR",
@@ -299,13 +392,25 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"re-measuring scale sweep (n={args.scale_n}) ...")
             fresh_scale = _fresh_scale(committed_scale, args.scale_n)
+        fresh_kernel = None
+        committed_kernel = None
+        if args.kernel_record:
+            committed_kernel = load_record(args.kernel_record)
+            if args.fresh_kernel:
+                fresh_kernel = load_record(args.fresh_kernel)
+            else:
+                print(f"re-measuring kernel microbench (n={args.kernel_n}) ...")
+                fresh_kernel = _fresh_kernel(committed_kernel, args.kernel_n)
         if args.out_dir:
             out_dir = Path(args.out_dir)
             out_dir.mkdir(parents=True, exist_ok=True)
-            for name, record in (
+            fresh_records = [
                 ("BENCH_engine.fresh.json", fresh_engine),
                 ("BENCH_scale.fresh.json", fresh_scale),
-            ):
+            ]
+            if fresh_kernel is not None:
+                fresh_records.append(("BENCH_kernel.fresh.json", fresh_kernel))
+            for name, record in fresh_records:
                 print(f"wrote {write_bench(record, out_dir / name)}")
         engine_lines, engine_bad = gate_engine(
             committed_engine, fresh_engine, args.speed_tolerance
@@ -313,13 +418,19 @@ def main(argv: list[str] | None = None) -> int:
         scale_lines, scale_bad = gate_scale(
             committed_scale, fresh_scale, args.speed_tolerance, args.mem_tolerance
         )
+        kernel_lines: list[str] = []
+        kernel_bad = 0
+        if committed_kernel is not None:
+            kernel_lines, kernel_bad = gate_kernel(
+                committed_kernel, fresh_kernel, args.speed_tolerance
+            )
     except AnalysisError as exc:
         print(f"gate error: {exc}", file=sys.stderr)
         return 2
 
-    for line in engine_lines + scale_lines:
+    for line in engine_lines + scale_lines + kernel_lines:
         print(line)
-    violations = engine_bad + scale_bad
+    violations = engine_bad + scale_bad + kernel_bad
     if violations:
         print(f"PERF GATE FAIL: {violations} regression(s)", file=sys.stderr)
         return 1

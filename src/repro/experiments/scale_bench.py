@@ -1,32 +1,37 @@
-"""Dense vs sparse channel-backend scaling sweep (``BENCH_scale.json``).
+"""Channel-backend scaling sweep (``BENCH_scale.json``).
 
 For every (family, n) cell the harness runs the same seed batch once per
-channel backend and reports wall-clock rounds/sec plus the peak memory a
-short probe run allocates (``tracemalloc``), so the record answers the two
-scaling questions directly: how much faster is the CSR kernel on sparse
-topologies, and how much smaller is its footprint::
+channel backend — dense matmul, sparse CSR, and bit-packed popcount — and
+reports wall-clock rounds/sec plus the peak memory a short probe run
+allocates (``tracemalloc``), so the record answers the scaling questions
+directly: how much faster is the CSR kernel on sparse topologies, how far
+past the dense wall does the bit-packed kernel carry dense-density
+graphs, and how much smaller are their footprints::
 
-    python -m repro.experiments.scale_bench --n 256 1024 4096 16384 \
+    python -m repro.experiments.scale_bench --n 256 1024 4096 16384 65536 \
         --out BENCH_scale.json
 
-The dense backend's kernel operand alone costs ``8·n²`` bytes, so cells
-whose estimated dense footprint exceeds ``--max-dense-mib`` are *recorded
-as skipped* rather than run — that is the bench's memory ceiling, and the
-sizes the sparse backend completes beyond it are exactly the regime the
-dense path cannot reach.  ``--max-cell-seconds`` is the analogous time
-ceiling: once a backend exceeds it at some n, larger n for that family are
-skipped for that backend.
+Kernel operands have knowable sizes — ``8·n²`` bytes dense,
+``8·n·ceil(n/64)`` bit-packed — so cells whose estimated operand exceeds
+``--max-dense-mib`` are *recorded as skipped* rather than run — that is
+the bench's memory ceiling, and the sizes the other backends complete
+beyond it are exactly the regime the skipped path cannot reach.
+``--max-cell-seconds`` is the analogous time ceiling: once a backend
+exceeds it at some n, larger n for that family are skipped for that
+backend.
 
-When both backends run a cell, the sparse entry records
-``speedup_vs_dense`` (rounds/sec ratio), ``memory_ratio_vs_dense`` (dense
-probe peak / sparse probe peak) and ``results_match_dense`` — the
+When dense and another backend both run a cell, the non-dense entry
+records ``speedup_vs_dense`` (rounds/sec ratio), ``memory_ratio_vs_dense``
+(dense probe peak / own probe peak) and ``results_match_dense`` — the
 backends are bitwise-identical by construction (see
-``tests/test_sparse_equivalence.py``), and the record keeps that honest.
+``tests/test_sparse_equivalence.py`` and
+``tests/test_bitpacked_equivalence.py``), and the record keeps that
+honest.
 
 ``--max-seconds`` turns the run into a smoke test: exit non-zero when any
 executed cell needs longer than the ceiling (CI uses this with
-``--backends sparse`` at n=4096 to catch sparse-path scaling regressions
-without gating merges).
+``--backends sparse`` at n=4096 and ``--backends bitpacked`` at n=65536
+to catch scaling regressions without gating merges).
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 __all__ = [
     "DEFAULT_SIZES",
     "PROBE_ROUNDS",
+    "SCALE_BACKENDS",
     "SCALE_TOPOLOGIES",
     "bench_scale",
     "main",
@@ -54,6 +60,9 @@ __all__ = [
 
 #: The ISSUE's size axis: from comfortably-dense to past the dense wall.
 DEFAULT_SIZES: tuple[int, ...] = (256, 1024, 4096, 16384)
+
+#: Every channel backend the sweep can compare.
+SCALE_BACKENDS: tuple[str, ...] = ("dense", "sparse", "bitpacked")
 
 #: Sparse families only: on these, edges grow ~linearly with n, so the
 #: CSR backend's Θ(edges)-per-round advantage is the whole story.  (star
@@ -64,6 +73,20 @@ SCALE_TOPOLOGIES: tuple[str, ...] = ("line", "grid", "gnp", "unit_disk")
 #: (operand construction plus per-round temporaries) without paying the
 #: tracer's overhead during the timed run.
 PROBE_ROUNDS = 32
+
+
+def _operand_bytes(backend: str, n: int) -> int:
+    """Estimated kernel-operand footprint, for the bench's memory ceiling.
+
+    The sparse operand is Θ(edges) — family-dependent and always far
+    below the ceiling on these sweep families — so it is never skipped
+    on memory.
+    """
+    if backend == "dense":
+        return 8 * n * n
+    if backend == "bitpacked":
+        return 8 * n * (-(-n // 64))
+    return 0
 
 
 def _run_signature(result) -> tuple:
@@ -124,10 +147,11 @@ def bench_scale(
         raise AnalysisError(
             f"unknown topologies {unknown}; choose from {TOPOLOGY_NAMES}"
         )
-    bad = [b for b in backends if b not in ("dense", "sparse")]
+    bad = [b for b in backends if b not in SCALE_BACKENDS]
     if bad or not backends:
         raise AnalysisError(
-            f"backends must be a non-empty subset of dense/sparse, got {list(backends)}"
+            "backends must be a non-empty subset of "
+            f"{'/'.join(SCALE_BACKENDS)}, got {list(backends)}"
         )
     if protocol not in runners.BROADCAST_PROTOCOL_NAMES:
         raise AnalysisError(
@@ -161,11 +185,11 @@ def bench_scale(
                     "build_seconds": round(build_seconds, 3),
                 }
                 results.append(entry)
-                dense_bytes = 8 * n * n
-                if backend == "dense" and dense_bytes > max_dense_bytes:
+                operand_bytes = _operand_bytes(backend, n)
+                if operand_bytes > max_dense_bytes:
                     entry["skipped"] = (
-                        f"dense kernel operand needs {dense_bytes >> 20} MiB "
-                        f"> {max_dense_bytes >> 20} MiB ceiling"
+                        f"{backend} kernel operand needs {operand_bytes >> 20} "
+                        f"MiB > {max_dense_bytes >> 20} MiB ceiling"
                     )
                     continue
                 if backend in timed_out:
@@ -206,20 +230,22 @@ def bench_scale(
                 signatures[backend] = [_run_signature(r) for r in batch]
                 if max_cell_seconds is not None and seconds > max_cell_seconds:
                     timed_out[backend] = n
-            if "dense" in cell and "sparse" in cell:
-                dense, sparse = cell["dense"], cell["sparse"]
-                if dense["rounds_per_sec"] and sparse["rounds_per_sec"]:
-                    sparse["speedup_vs_dense"] = round(
-                        sparse["rounds_per_sec"] / dense["rounds_per_sec"], 2
+            dense = cell.get("dense")
+            for backend, entry in cell.items():
+                if backend == "dense" or dense is None:
+                    continue
+                if dense["rounds_per_sec"] and entry["rounds_per_sec"]:
+                    entry["speedup_vs_dense"] = round(
+                        entry["rounds_per_sec"] / dense["rounds_per_sec"], 2
                     )
-                if sparse["peak_mib"]:
-                    sparse["memory_ratio_vs_dense"] = round(
-                        dense["peak_mib"] / sparse["peak_mib"], 2
+                if entry["peak_mib"]:
+                    entry["memory_ratio_vs_dense"] = round(
+                        dense["peak_mib"] / entry["peak_mib"], 2
                     )
                 # Full-run signatures (status, per-node arrival rounds,
                 # channel totals), not just rounds-to-delivery.
-                sparse["results_match_dense"] = (
-                    signatures["sparse"] == signatures["dense"]
+                entry["results_match_dense"] = (
+                    signatures[backend] == signatures["dense"]
                 )
 
     return bench_record(
@@ -239,7 +265,7 @@ def bench_scale(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.scale_bench",
-        description="Sweep dense vs sparse channel backends across sizes.",
+        description="Sweep the channel backends across network sizes.",
     )
     parser.add_argument(
         "--n",
@@ -269,7 +295,7 @@ def main(argv: list[str] | None = None) -> int:
         "--backends",
         nargs="+",
         default=["dense", "sparse"],
-        choices=("dense", "sparse"),
+        choices=SCALE_BACKENDS,
         metavar="BACKEND",
         help="channel backends to compare (default: dense sparse)",
     )
@@ -277,8 +303,9 @@ def main(argv: list[str] | None = None) -> int:
         "--max-dense-mib",
         type=int,
         default=1024,
-        help="memory ceiling: skip dense cells whose kernel operand alone "
-        "would exceed this many MiB (default: 1024)",
+        help="memory ceiling: skip cells whose kernel operand alone (8n² "
+        "bytes dense, 8n·ceil(n/64) bitpacked) would exceed this many MiB "
+        "(default: 1024)",
     )
     parser.add_argument(
         "--max-cell-seconds",

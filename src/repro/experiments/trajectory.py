@@ -43,6 +43,7 @@ DEFAULT_RECORDS: tuple[str, ...] = (
     "BENCH_broadcast.json",
     "BENCH_engine.json",
     "BENCH_faults.json",
+    "BENCH_kernel.json",
     "BENCH_multimessage.json",
     "BENCH_scale.json",
 )
@@ -78,6 +79,16 @@ def record_metrics(record: dict) -> dict[str, float]:
                 metrics[f"{cell}/peak_mib"] = entry["peak_mib"]
             if entry.get("speedup_vs_dense") is not None:
                 metrics[f"{cell}/speedup_vs_dense"] = entry["speedup_vs_dense"]
+        elif bench == "kernel":
+            cell = f"{entry['topology']}/n={entry['n']}/{entry['backend']}"
+            if entry.get("counts_per_sec") is not None:
+                metrics[f"{cell}/counts_per_sec"] = entry["counts_per_sec"]
+            if entry.get("operand_mib") is not None:
+                metrics[f"{cell}/operand_mib"] = entry["operand_mib"]
+            if entry.get("counts_speedup_vs_dense") is not None:
+                metrics[f"{cell}/counts_speedup_vs_dense"] = entry[
+                    "counts_speedup_vs_dense"
+                ]
         elif bench == "broadcast":
             cell = f"{entry['topology']}/{entry['protocol']}/n={entry['n']}"
             if "rounds" in entry:

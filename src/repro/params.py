@@ -97,11 +97,12 @@ class ProtocolParams:
     #: fraction of the time, so the per-message slot cost is a small
     #: constant number of cycles — this is that hidden constant.
     multi_message_pipeline_factor: float = 3.0
-    #: Channel-kernel backend: ``"auto"`` picks dense or sparse per topology
-    #: by density threshold (below), ``"dense"``/``"sparse"`` force one path.
-    #: The two backends are bitwise-identical on every run (same traces,
-    #: same round counts); the choice only affects speed and memory, so it
-    #: lives here as an execution knob, not a protocol constant.
+    #: Channel-kernel backend: ``"auto"`` picks dense, sparse, or bitpacked
+    #: per topology by density threshold and size floors (below);
+    #: ``"dense"``/``"sparse"``/``"bitpacked"`` force one path.  The
+    #: backends are bitwise-identical on every run (same traces, same round
+    #: counts); the choice only affects speed and memory, so it lives here
+    #: as an execution knob, not a protocol constant.
     channel_backend: str = "auto"
     #: In ``"auto"`` mode, use the sparse CSR backend when the adjacency
     #: density ``2·edges / n²`` is at or below this threshold; denser graphs
@@ -112,6 +113,13 @@ class ProtocolParams:
     #: fixed gather/bincount overhead loses even on very sparse graphs —
     #: measured crossover is n ≈ 200–1000 depending on family and batch.
     sparse_min_n: int = 1024
+    #: In ``"auto"`` mode, graphs too dense for the CSR backend switch from
+    #: the float64 matmul to the bit-packed popcount kernel at or above
+    #: this size: same Θ(n²) work but 64 adjacency entries per uint64 word,
+    #: so the operand is ~64× smaller and the kernel clears the dense
+    #: memory wall (n = 16384 at the 1 GiB ceiling).  Below the floor the
+    #: BLAS matmul's per-call overhead is lower and dense stays.
+    bitpacked_min_n: int = 4096
     #: Multiplicative slack applied to the default round budget when a run
     #: carries a non-empty fault schedule (message loss and jamming slow
     #: delivery; crashes and outages stall it).  1.0 means faulted runs
@@ -307,10 +315,10 @@ class ProtocolParams:
                 "wave_spacing must be an integer >= 3 (adjacent pipelined waves "
                 f"interfere below 3), got {self.wave_spacing!r}"
             )
-        if self.channel_backend not in ("auto", "dense", "sparse"):
+        if self.channel_backend not in ("auto", "dense", "sparse", "bitpacked"):
             raise ConfigurationError(
-                "channel_backend must be 'auto', 'dense' or 'sparse', "
-                f"got {self.channel_backend!r}"
+                "channel_backend must be 'auto', 'dense', 'sparse' or "
+                f"'bitpacked', got {self.channel_backend!r}"
             )
         if not 0.0 <= self.sparse_density_threshold <= 1.0:
             raise ConfigurationError(
@@ -321,4 +329,9 @@ class ProtocolParams:
             raise ConfigurationError(
                 "sparse_min_n must be a non-negative integer, "
                 f"got {self.sparse_min_n!r}"
+            )
+        if not isinstance(self.bitpacked_min_n, int) or self.bitpacked_min_n < 0:
+            raise ConfigurationError(
+                "bitpacked_min_n must be a non-negative integer, "
+                f"got {self.bitpacked_min_n!r}"
             )

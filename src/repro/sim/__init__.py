@@ -37,6 +37,7 @@ from repro.sim.core import (
     BatchEngine,
     BatchItem,
     BatchOutcome,
+    BitOperand,
     BroadcastArrayProtocol,
     ChannelRound,
     CoinDeck,
@@ -120,6 +121,7 @@ __all__ = [
     "BROADCAST_PROTOCOL_NAMES",
     "BROADCAST_RUNNERS",
     "BatchEngine",
+    "BitOperand",
     "BatchItem",
     "BatchOutcome",
     "BeepWaveArrayProtocol",

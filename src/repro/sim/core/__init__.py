@@ -40,6 +40,7 @@ from repro.sim.core.batch import (
     select_kernel_operand,
 )
 from repro.sim.core.channel import (
+    BitOperand,
     ChannelRound,
     DenseOperand,
     KernelOperand,
@@ -62,6 +63,7 @@ __all__ = [
     "ArrayEngine",
     "ArrayProtocol",
     "BatchEngine",
+    "BitOperand",
     "BatchItem",
     "BatchOutcome",
     "BroadcastArrayProtocol",

@@ -17,11 +17,13 @@ individually the moment it completes or exhausts its round budget, so one
 slow straggler never costs the finished instances anything.
 
 Backend selection (:func:`resolve_channel_backend`) is per run:
-``params.channel_backend`` forces ``"dense"`` or ``"sparse"``, and the
-default ``"auto"`` picks sparse whenever the graph's adjacency density is
-at or below ``params.sparse_density_threshold``.  The two backends are
-bitwise-identical in every observable (traces, round counts, channel
-totals), so the choice is purely a speed/memory knob.
+``params.channel_backend`` forces ``"dense"``, ``"sparse"`` or
+``"bitpacked"``, and the default ``"auto"`` picks sparse whenever the
+graph's adjacency density is at or below
+``params.sparse_density_threshold`` and the bit-packed popcount kernel
+for dense-density graphs of at least ``params.bitpacked_min_n`` nodes.
+All backends are bitwise-identical in every observable (traces, round
+counts, channel totals), so the choice is purely a speed/memory knob.
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ from repro.errors import SimulationError
 from repro.params import ProtocolParams
 from repro.sim.core.array_protocol import ArrayContext, ArrayProtocol, RoundPlan
 from repro.sim.core.channel import (
+    BitOperand,
     ChannelRound,
     DenseOperand,
     KernelOperand,
@@ -109,15 +112,16 @@ def _new_phase_seconds() -> dict[str, float]:
 
 
 def resolve_channel_backend(network: RadioNetwork, params: ProtocolParams) -> str:
-    """The concrete channel backend (``"dense"``/``"sparse"``) for one run.
+    """The concrete channel backend (``"dense"``/``"sparse"``/``"bitpacked"``).
 
-    ``params.channel_backend`` wins when explicit; ``"auto"`` goes sparse
-    only for networks of at least ``params.sparse_min_n`` nodes whose
-    adjacency density ``2·edges / n²`` is at or below the params threshold
-    — large sparse topologies get the Θ(m)-per-round CSR kernel, while
-    small or dense ones keep the BLAS matmul (which wins below the
-    crossover even on sparse graphs).  Both backends are bitwise-identical
-    in results.
+    ``params.channel_backend`` wins when explicit.  ``"auto"`` picks by
+    density and size: networks below ``params.sparse_min_n`` keep the BLAS
+    matmul (which wins below the crossover even on sparse graphs); larger
+    networks whose adjacency density ``2·edges / n²`` is at or below the
+    params threshold get the Θ(m)-per-round CSR kernel; denser ones get
+    the bit-packed popcount kernel from ``params.bitpacked_min_n`` nodes
+    up (same Θ(n²) work as dense, ~64× less operand memory) and the
+    matmul below it.  Every backend is bitwise-identical in results.
     """
     backend = params.channel_backend
     if backend != "auto":
@@ -125,7 +129,9 @@ def resolve_channel_backend(network: RadioNetwork, params: ProtocolParams) -> st
     if network.n < params.sparse_min_n:
         return "dense"
     density = (2 * network.num_edges) / (network.n * network.n)
-    return "sparse" if density <= params.sparse_density_threshold else "dense"
+    if density <= params.sparse_density_threshold:
+        return "sparse"
+    return "bitpacked" if network.n >= params.bitpacked_min_n else "dense"
 
 
 def select_kernel_operand(
@@ -133,11 +139,15 @@ def select_kernel_operand(
 ) -> KernelOperand:
     """Build the kernel operand :func:`resolve_channel_backend` picks.
 
-    The sparse path never touches :meth:`RadioNetwork.adjacency_matrix`,
-    so choosing it keeps the whole run free of n² allocations.
+    The sparse and bit-packed paths never touch
+    :meth:`RadioNetwork.adjacency_matrix`, so choosing either keeps the
+    whole run free of n² allocations.
     """
-    if resolve_channel_backend(network, params) == "sparse":
+    backend = resolve_channel_backend(network, params)
+    if backend == "sparse":
         return SparseOperand(*network.csr())
+    if backend == "bitpacked":
+        return BitOperand(*network.csr())
     return DenseOperand(network.adjacency_matrix())
 
 

@@ -10,7 +10,7 @@ One round of the single-hop radio channel is three array operations:
 * ``senders`` — for a listener with count 1 the id-weighted neighbour
   count *is* the id of its unique transmitting neighbour.
 
-Two interchangeable **kernel operands** implement those reductions:
+Three interchangeable **kernel operands** implement those reductions:
 
 * :class:`DenseOperand` — the symmetric 0/1 adjacency as a ``float64``
   matrix; counts are one BLAS matmul (``transmit @ A``).  Θ(n²) memory and
@@ -20,10 +20,17 @@ Two interchangeable **kernel operands** implement those reductions:
   (``np.bincount`` over the edge list).  Θ(m) memory and time per round,
   which is what lets the simulator past the dense-matmul wall on sparse
   topologies (line/grid/gnp/unit-disk at n ≳ 4096).
+* :class:`BitOperand` — the adjacency bit-packed into an
+  ``(n, ceil(n/64))`` uint64 word matrix; the per-round transmit mask is
+  packed once into ``ceil(n/64)`` words and counts are ``AND`` +
+  popcount.  Still Θ(n²) work per round, but 64 adjacency entries per
+  word: a ~64× denser operand than the dense float64 matrix, which is
+  what carries dense-density graphs past n = 10⁵.
 
-Every count either backend produces is a sum of 0/1 terms (or of node ids,
-all far below 2**53) accumulated in ``float64``, so both are exact and the
-resulting :class:`ChannelRound` is **bitwise identical** between backends.
+Every count the float backends produce is a sum of 0/1 terms (or of node
+ids, all far below 2**53) accumulated in ``float64``, and popcounts are
+integer-exact by construction, so all three are exact and the resulting
+:class:`ChannelRound` is **bitwise identical** between backends.
 
 The kernel is batched: ``transmit``/``listen`` may be ``(n,)`` for one
 instance or ``(batch, n)`` for many independent instances on the same
@@ -52,15 +59,88 @@ from repro.errors import SimulationError
 from repro.sim.core.stats import RoundStats
 
 __all__ = [
+    "BitOperand",
     "ChannelRound",
     "DenseOperand",
+    "HAVE_BITWISE_COUNT",
     "KernelOperand",
     "SparseOperand",
     "adjacency_operand",
     "as_kernel_operand",
+    "pack_mask",
+    "popcount64",
     "resolve_channel",
     "round_stats",
+    "unpack_mask",
 ]
+
+#: ``np.bitwise_count`` arrived in numpy 2.0; on older numpy the kernel
+#: falls back to a 16-bit lookup table (four table lookups per word).
+HAVE_BITWISE_COUNT: bool = hasattr(np, "bitwise_count")
+
+#: Popcount of every 16-bit value; 64 KiB once, shared by the fallback
+#: and kept unconditionally so tests can force the fallback path.
+_POPCOUNT16 = np.array(
+    [bin(value).count("1") for value in range(1 << 16)], dtype=np.uint8
+)
+
+#: Cap on transient kernel intermediates (the ``AND`` block in
+#: :meth:`BitOperand.transmit_counts` and the gathered rows in
+#: :meth:`BitOperand.sender_ids`), so large-n rounds stream through a
+#: cache-friendly working set instead of materializing Θ(batch · n · n/64).
+_BIT_BLOCK_BYTES = 1 << 25
+
+
+def _popcount_lut(words: np.ndarray) -> np.ndarray:
+    """Per-word popcounts of a uint64 array via the 16-bit LUT.
+
+    Pure shift/mask arithmetic (no byte-order-dependent views); each
+    uint64 word is four table lookups.  Returns uint8 like
+    ``np.bitwise_count``.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    mask = np.uint64(0xFFFF)
+    return (
+        _POPCOUNT16[words & mask]
+        + _POPCOUNT16[(words >> np.uint64(16)) & mask]
+        + _POPCOUNT16[(words >> np.uint64(32)) & mask]
+        + _POPCOUNT16[words >> np.uint64(48)]
+    )
+
+
+#: The popcount implementation selected at import.  :class:`BitOperand`
+#: resolves this name at call time, so tests can monkeypatch it to force
+#: the LUT path on numpy >= 2.
+popcount64 = np.bitwise_count if HAVE_BITWISE_COUNT else _popcount_lut
+
+
+def pack_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(..., n)`` mask into little-bit-order uint64 words.
+
+    Bit ``j`` of word ``w`` is element ``64·w + j``; the tail bits of the
+    last word (when ``n % 64 != 0``) are zero.  Byte-order independent:
+    words are assembled by shifted adds, not memory views.
+    """
+    mask = np.asarray(mask).astype(bool)
+    packed8 = np.packbits(mask, axis=-1, bitorder="little")
+    n_bytes = packed8.shape[-1]
+    words = -(-n_bytes // 8)
+    if n_bytes != words * 8:
+        pad = np.zeros(packed8.shape[:-1] + (words * 8 - n_bytes,), dtype=np.uint8)
+        packed8 = np.concatenate([packed8, pad], axis=-1)
+    grouped = packed8.reshape(packed8.shape[:-1] + (words, 8)).astype(np.uint64)
+    shifts = np.arange(8, dtype=np.uint64) * np.uint64(8)
+    return (grouped << shifts).sum(axis=-1, dtype=np.uint64)
+
+
+def unpack_mask(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_mask`: uint64 words back to a boolean ``(..., n)``."""
+    words = np.asarray(words, dtype=np.uint64)
+    shifts = np.arange(8, dtype=np.uint64) * np.uint64(8)
+    packed8 = ((words[..., None] >> shifts) & np.uint64(0xFF)).astype(np.uint8)
+    packed8 = packed8.reshape(words.shape[:-1] + (words.shape[-1] * 8,))
+    bits = np.unpackbits(packed8, axis=-1, bitorder="little")
+    return bits[..., :n].astype(bool)
 
 
 def adjacency_operand(adjacency: np.ndarray) -> np.ndarray:
@@ -73,6 +153,31 @@ def adjacency_operand(adjacency: np.ndarray) -> np.ndarray:
     if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
         raise SimulationError(f"adjacency must be square, got shape {adj.shape}")
     return np.ascontiguousarray(adj, dtype=np.float64)
+
+
+def _validate_csr(
+    indptr: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Validate CSR neighbour arrays; returns ``(indptr, indices, n)`` as int64."""
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    if indptr.ndim != 1 or indptr.size < 1 or indices.ndim != 1:
+        raise SimulationError(
+            f"CSR arrays must be 1-D with indptr non-empty, got indptr "
+            f"shape {indptr.shape} and indices shape {indices.shape}"
+        )
+    n = indptr.size - 1
+    if indptr[0] != 0 or indptr[-1] != indices.size or (np.diff(indptr) < 0).any():
+        raise SimulationError(
+            "indptr must start at 0, be non-decreasing, and end at "
+            f"len(indices)={indices.size}; got indptr={indptr!r}"
+        )
+    if indices.size and (indices.min() < 0 or indices.max() >= n):
+        raise SimulationError(
+            f"CSR indices must be node ids in [0, {n}), got range "
+            f"[{indices.min()}, {indices.max()}]"
+        )
+    return indptr, indices, n
 
 
 class DenseOperand:
@@ -90,6 +195,10 @@ class DenseOperand:
     def n(self) -> int:
         return self.adj_f.shape[0]
 
+    def prepare_transmit(self, transmit: np.ndarray) -> np.ndarray:
+        """Per-round operand form of the boolean transmit mask (float64 0/1)."""
+        return transmit.astype(np.float64)
+
     def transmit_counts(self, tx: np.ndarray) -> np.ndarray:
         """Per-node transmitting-neighbour counts (``tx`` is float64 0/1)."""
         return (tx @ self.adj_f).astype(np.int64)
@@ -97,6 +206,10 @@ class DenseOperand:
     def weighted_ids(self, tx: np.ndarray) -> np.ndarray:
         """Id-weighted counts: for a count-1 listener, its unique sender's id."""
         return ((tx * self._ids_f) @ self.adj_f).astype(np.int64)
+
+    def sender_ids(self, tx: np.ndarray, clean: np.ndarray) -> np.ndarray:
+        """Sender ids valid at ``clean`` positions (garbage elsewhere)."""
+        return self.weighted_ids(tx)
 
 
 class SparseOperand:
@@ -113,35 +226,17 @@ class SparseOperand:
     backend = "sparse"
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
-        indptr = np.asarray(indptr, dtype=np.int64)
-        indices = np.asarray(indices, dtype=np.int64)
-        if indptr.ndim != 1 or indptr.size < 1 or indices.ndim != 1:
-            raise SimulationError(
-                f"CSR arrays must be 1-D with indptr non-empty, got indptr "
-                f"shape {indptr.shape} and indices shape {indices.shape}"
-            )
-        n = indptr.size - 1
-        if indptr[0] != 0 or indptr[-1] != indices.size or (np.diff(indptr) < 0).any():
-            raise SimulationError(
-                "indptr must start at 0, be non-decreasing, and end at "
-                f"len(indices)={indices.size}; got indptr={indptr!r}"
-            )
-        if indices.size and (indices.min() < 0 or indices.max() >= n):
-            raise SimulationError(
-                f"CSR indices must be node ids in [0, {n}), got range "
-                f"[{indices.min()}, {indices.max()}]"
-            )
-        self.indptr = indptr
-        self.indices = indices
-        self.n = n
+        self.indptr, self.indices, self.n = _validate_csr(indptr, indices)
         # Round-invariant pieces of the kernel, built once: the listener id
         # owning each CSR slot (the bincount keys), the float64 sender ids,
         # and (lazily) the batched key array — see :meth:`_segment_sum`.
-        self._rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
-        self._ids_f = indices.astype(np.float64)
+        self._rows = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self.indptr)
+        )
+        self._ids_f = self.indices.astype(np.float64)
         self._keys: np.ndarray | None = None
 
-    def _segment_sum(self, weights: np.ndarray) -> np.ndarray:
+    def _segment_sum(self, weights: np.ndarray, shrink: bool = True) -> np.ndarray:
         """Sum per-edge ``weights`` (..., m) into their listeners (..., n)."""
         if weights.ndim == 1:
             return np.bincount(
@@ -160,12 +255,15 @@ class SparseOperand:
         # size so the peak-batch footprint is released instead of staying
         # pinned for the operand's lifetime.  The half threshold means a
         # batch draining one instance at a time rebuilds O(log batch)
-        # times, not every round.
+        # times, not every round.  Only the counts path may shrink
+        # (``shrink=True``): the sender pass runs on the clean-row subset
+        # of the same round's batch, and letting that smaller call shrink
+        # the cache would thrash it twice per round.
         needed = batch * self._rows.size
         if (
             self._keys is None
             or self._keys.size < needed
-            or self._keys.size > 2 * needed
+            or (shrink and self._keys.size > 2 * needed)
         ):
             self._keys = (
                 self._rows[None, :] + (np.arange(batch) * self.n)[:, None]
@@ -175,6 +273,10 @@ class SparseOperand:
         return (
             out.reshape(weights.shape[:-1] + (self.n,)).astype(np.int64)
         )
+
+    def prepare_transmit(self, transmit: np.ndarray) -> np.ndarray:
+        """Per-round operand form of the boolean transmit mask (float64 0/1)."""
+        return transmit.astype(np.float64)
 
     def transmit_counts(self, tx: np.ndarray) -> np.ndarray:
         """Per-node transmitting-neighbour counts (``tx`` is float64 0/1)."""
@@ -186,15 +288,112 @@ class SparseOperand:
         """Id-weighted counts: for a count-1 listener, its unique sender's id."""
         if self.indices.size == 0:
             return np.zeros(tx.shape[:-1] + (self.n,), dtype=np.int64)
-        return self._segment_sum(tx[..., self.indices] * self._ids_f)
+        return self._segment_sum(tx[..., self.indices] * self._ids_f, shrink=False)
+
+    def sender_ids(self, tx: np.ndarray, clean: np.ndarray) -> np.ndarray:
+        """Sender ids valid at ``clean`` positions (garbage elsewhere)."""
+        return self.weighted_ids(tx)
 
 
-KernelOperand = Union[DenseOperand, SparseOperand]
+class BitOperand:
+    """Bit-packed channel backend: neighbour counts via ``AND`` + popcount.
+
+    The adjacency row of node ``v`` lives in ``words[v]``, an array of
+    ``ceil(n/64)`` uint64 words (bit ``j`` of word ``w`` set iff
+    ``64·w + j`` is a neighbour of ``v``).  One round packs the transmit
+    mask once, and every node's count is
+    ``popcount(words[v] & packed_tx)`` — the dense matmul's Θ(n) row
+    reduction compressed 64-to-1.  Constructed from CSR neighbour arrays
+    so no Θ(n²) dense intermediate ever exists.
+
+    Sender-id recovery is a second pass restricted to the ``clean``
+    positions: there ``words[v] & packed_tx`` has exactly one set bit by
+    definition of clean, and that bit's index *is* the sender id
+    (``64·w + popcount(word − 1)`` for the unique non-zero word — an
+    isolated bit's predecessor mask is exactly its trailing zeros).  The
+    expensive id-weighted reduction of the float backends never runs.
+    """
+
+    __slots__ = ("n", "words", "edges")
+
+    backend = "bitpacked"
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        indptr, indices, n = _validate_csr(indptr, indices)
+        self.n = n
+        self.edges = int(indices.size)
+        width = -(-n // 64)
+        words = np.zeros((n, width), dtype=np.uint64)
+        if indices.size:
+            rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+            np.bitwise_or.at(
+                words,
+                (rows, indices >> 6),
+                np.uint64(1) << (indices & 63).astype(np.uint64),
+            )
+        self.words = words
+
+    def prepare_transmit(self, transmit: np.ndarray) -> np.ndarray:
+        """Per-round operand form of the boolean transmit mask (packed words)."""
+        return pack_mask(transmit)
+
+    def transmit_counts(self, packed: np.ndarray) -> np.ndarray:
+        """Per-node transmitting-neighbour counts (``packed`` is uint64 words)."""
+        lead = packed.shape[:-1]
+        width = self.words.shape[1]
+        flat = packed.reshape(-1, width)
+        batch = flat.shape[0]
+        out = np.zeros((batch, self.n), dtype=np.int64)
+        # Stream over word columns so the (batch, n, chunk) AND block stays
+        # within _BIT_BLOCK_BYTES instead of Θ(batch · n · n/64).
+        chunk = max(1, _BIT_BLOCK_BYTES // (8 * batch * max(1, self.n)))
+        for start in range(0, width, chunk):
+            stop = min(width, start + chunk)
+            block = flat[:, None, start:stop] & self.words[None, :, start:stop]
+            out += popcount64(block).sum(axis=-1, dtype=np.int64)
+        return out.reshape(lead + (self.n,))
+
+    def sender_ids(self, packed: np.ndarray, clean: np.ndarray) -> np.ndarray:
+        """Sender ids valid at ``clean`` positions (zero elsewhere).
+
+        Gathers only the (batch row, node) pairs that are clean, so the
+        pass costs Θ(clean · n/64) — proportional to actual deliveries,
+        not the full matrix.
+        """
+        out = np.zeros(clean.shape, dtype=np.int64)
+        width = self.words.shape[1]
+        if clean.ndim == 1:
+            nodes = np.flatnonzero(clean)
+            tx_rows = np.broadcast_to(packed, (nodes.size, width))
+        else:
+            batch_rows, nodes = np.nonzero(clean)
+            tx_rows = packed.reshape(-1, width)[batch_rows]
+        total = nodes.size
+        if total == 0:
+            return out
+        ids = np.empty(total, dtype=np.int64)
+        bit_base = np.arange(width, dtype=np.int64) * 64
+        step = max(1, _BIT_BLOCK_BYTES // (8 * width))
+        for start in range(0, total, step):
+            stop = min(total, start + step)
+            masked = self.words[nodes[start:stop]] & tx_rows[start:stop]
+            nonzero = masked != 0
+            # Exactly one bit is set across each row (count == 1 at a clean
+            # listener), so the row's id is 64·w + trailing_zeros(word) for
+            # its unique non-zero word; the uint64 wraparound of 0 − 1 is
+            # masked out by ``nonzero``.
+            offsets = popcount64(masked - np.uint64(1)).astype(np.int64)
+            ids[start:stop] = np.where(nonzero, bit_base + offsets, 0).sum(axis=-1)
+        out[clean] = ids
+        return out
+
+
+KernelOperand = Union[DenseOperand, SparseOperand, BitOperand]
 
 
 def as_kernel_operand(operand: KernelOperand | np.ndarray) -> KernelOperand:
     """Normalize a kernel operand; a raw adjacency matrix means dense."""
-    if isinstance(operand, (DenseOperand, SparseOperand)):
+    if isinstance(operand, (DenseOperand, SparseOperand, BitOperand)):
         return operand
     return DenseOperand(operand)
 
@@ -257,7 +456,7 @@ def _check_masks(n: int, transmit: np.ndarray, listen: np.ndarray) -> None:
 def resolve_channel(
     operand: KernelOperand | np.ndarray, transmit: np.ndarray, listen: np.ndarray
 ) -> ChannelRound:
-    """Resolve one round on a kernel operand (dense matrix or CSR backend).
+    """Resolve one round on a kernel operand (dense, CSR, or bit-packed).
 
     ``transmit`` and ``listen`` are boolean masks of shape ``(n,)`` or
     ``(batch, n)``; transmitters hear nothing (half-duplex), so the masks
@@ -267,20 +466,36 @@ def resolve_channel(
     a dense operand for backward compatibility, but wraps it in a fresh
     :class:`DenseOperand` (dtype conversion and all) on *every* call —
     hot loops should construct the operand once and pass it instead.
+
+    The sender pass is gated per batch row: only the rows that actually
+    have a clean listener pay for id recovery, so one busy instance in a
+    fused batch stops charging the whole group.
     """
     op = as_kernel_operand(operand)
     transmit = np.asarray(transmit)
     listen = np.asarray(listen)
     _check_masks(op.n, transmit, listen)
-    tx = transmit.astype(np.float64)
+    tx = op.prepare_transmit(transmit)
     counts = op.transmit_counts(tx)
     clean = listen & (counts == 1)
     collided = listen & (counts >= 2)
     silent = listen & (counts == 0)
-    if clean.any():
-        senders = np.where(clean, op.weighted_ids(tx), 0)
+    if clean.ndim == 1:
+        if clean.any():
+            senders = np.where(clean, op.sender_ids(tx, clean), 0)
+        else:
+            senders = np.zeros(counts.shape, dtype=np.int64)
     else:
-        senders = np.zeros(counts.shape, dtype=np.int64)
+        rows = np.flatnonzero(clean.any(axis=1))
+        if rows.size == clean.shape[0]:
+            senders = np.where(clean, op.sender_ids(tx, clean), 0)
+        else:
+            senders = np.zeros(counts.shape, dtype=np.int64)
+            if rows.size:
+                sub_clean = clean[rows]
+                senders[rows] = np.where(
+                    sub_clean, op.sender_ids(tx[rows], sub_clean), 0
+                )
     return ChannelRound(
         counts=counts, clean=clean, collided=collided, silent=silent, senders=senders
     )

@@ -34,8 +34,9 @@ exit 2.  Malformed flags that argparse itself rejects (e.g. a
 non-integer ``--budget``) exit 2 with the standard usage text on stderr,
 before any JSON contract applies.
 
-``--backend {auto,dense,sparse}`` selects the channel-kernel backend
-(dense matmul vs sparse CSR); ``auto`` picks by topology density and both
+``--backend {auto,dense,sparse,bitpacked}`` selects the channel-kernel
+backend (dense matmul, sparse CSR, or bit-packed popcount); ``auto`` picks
+by topology density and size, and all three
 give bitwise-identical runs, so the flag is purely a speed/memory knob.
 
 ``--crash-rate``, ``--loss-rate`` and ``--jammers`` inject seeded faults
@@ -132,10 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("auto", "dense", "sparse"),
+        choices=("auto", "dense", "sparse", "bitpacked"),
         default="auto",
-        help="channel-kernel backend: auto (default) picks dense or sparse "
-        "CSR per topology density; results are identical either way",
+        help="channel-kernel backend: auto (default) picks dense, sparse "
+        "CSR, or bit-packed popcount per topology density and size; "
+        "results are identical either way",
     )
     parser.add_argument(
         "--crash-rate",

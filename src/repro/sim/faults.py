@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sim.core.channel import (
+    BitOperand,
     ChannelRound,
     DenseOperand,
     KernelOperand,
@@ -345,12 +346,12 @@ class FaultState:
     def _rebuild_operand(self) -> None:
         """Rebuild the kernel operand for the current adjacency.
 
-        Stays on the backend the engine started with, so dense/sparse
+        Stays on the backend the engine started with, so cross-backend
         bitwise equivalence holds round by round even mid-flip.
         """
         assert self._neighbors is not None
         n = self._n
-        if self._backend == "sparse":
+        if self._backend in ("sparse", "bitpacked"):
             indptr = np.zeros(n + 1, dtype=np.int64)
             np.cumsum([len(nbrs) for nbrs in self._neighbors], out=indptr[1:])
             indices = np.fromiter(
@@ -358,7 +359,8 @@ class FaultState:
                 dtype=np.int64,
                 count=int(indptr[-1]),
             )
-            self._operand = SparseOperand(indptr, indices)
+            cls = SparseOperand if self._backend == "sparse" else BitOperand
+            self._operand = cls(indptr, indices)
         else:
             mat = np.zeros((n, n), dtype=np.int8)
             for u, nbrs in enumerate(self._neighbors):

@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.core import (
+    BitOperand,
     DenseOperand,
     SparseOperand,
     adjacency_operand,
@@ -12,6 +13,7 @@ from repro.sim.core import (
     resolve_channel,
     round_stats,
 )
+from repro.sim.core import channel as channel_module
 from repro.sim.topology import RadioNetwork, gnp, line, star
 
 
@@ -182,6 +184,98 @@ class TestSparseOperand:
             SparseOperand(np.array([0, 1, 2]), np.array([0, 5]))  # id >= n
 
 
+class TestBitOperand:
+    @pytest.mark.parametrize("graph_seed", [0, 1, 2])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_bitpacked_resolution_is_bitwise_identical_to_dense(
+        self, graph_seed, batched
+    ):
+        # n=70 straddles a word boundary, so tail-word masking is exercised.
+        net = gnp(70, 0.2, seed=graph_seed)
+        dense = DenseOperand(net.adjacency_matrix())
+        bit = BitOperand(*net.csr())
+        assert bit.backend == "bitpacked"
+        assert bit.words.shape == (70, 2)
+        rng = np.random.default_rng(graph_seed)
+        shape = (7, 70) if batched else (70,)
+        transmit = rng.random(shape) < 0.3
+        listen = ~transmit & (rng.random(shape) < 0.7)
+        a = resolve_channel(dense, transmit, listen)
+        b = resolve_channel(bit, transmit, listen)
+        assert np.array_equal(a.counts, b.counts)
+        assert np.array_equal(a.clean, b.clean)
+        assert np.array_equal(a.collided, b.collided)
+        assert np.array_equal(a.silent, b.silent)
+        assert np.array_equal(a.senders, b.senders)
+        assert a.counts.dtype == b.counts.dtype
+        assert a.senders.dtype == b.senders.dtype
+
+    def test_lut_fallback_matches_native_popcount(self):
+        words = np.random.default_rng(0).integers(
+            0, 2**64, size=(11, 5), dtype=np.uint64
+        )
+        expected = np.array(
+            [[bin(int(w)).count("1") for w in row] for row in words],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(channel_module._popcount_lut(words), expected)
+        if channel_module.HAVE_BITWISE_COUNT:
+            assert np.array_equal(np.bitwise_count(words), expected)
+
+    def test_forced_lut_fallback_resolves_identically(self, monkeypatch):
+        # Force the numpy<2 code path regardless of the installed numpy:
+        # BitOperand resolves `popcount64` at call time, so patching the
+        # module global reroutes every kernel popcount through the LUT.
+        monkeypatch.setattr(
+            channel_module, "popcount64", channel_module._popcount_lut
+        )
+        net = gnp(70, 0.25, seed=3)
+        dense = DenseOperand(net.adjacency_matrix())
+        bit = BitOperand(*net.csr())
+        rng = np.random.default_rng(3)
+        transmit = rng.random((5, 70)) < 0.3
+        listen = ~transmit
+        a = resolve_channel(dense, transmit, listen)
+        b = resolve_channel(bit, transmit, listen)
+        assert np.array_equal(a.counts, b.counts)
+        assert np.array_equal(a.senders, b.senders)
+
+    def test_single_node_graph_resolves_to_silence(self):
+        op = BitOperand(np.array([0, 0]), np.array([], dtype=np.int64))
+        ch = resolve_channel(
+            op, np.zeros(1, dtype=bool), np.ones(1, dtype=bool)
+        )
+        assert ch.silent.tolist() == [True]
+        assert ch.senders.tolist() == [0]
+
+    def test_rejects_malformed_csr(self):
+        with pytest.raises(SimulationError, match="indptr"):
+            BitOperand(np.array([1, 2]), np.array([0, 1]))
+        with pytest.raises(SimulationError, match="node ids"):
+            BitOperand(np.array([0, 1, 2]), np.array([0, 5]))
+
+    def test_partial_batch_sender_gating(self):
+        # Only some batch rows have clean listeners: the per-row gate must
+        # still produce exact senders on those rows and zeros elsewhere.
+        net = line(6)
+        bit = BitOperand(*net.csr())
+        dense = DenseOperand(net.adjacency_matrix())
+        transmit = np.zeros((3, 6), dtype=bool)
+        listen = np.zeros((3, 6), dtype=bool)
+        transmit[0, 2] = True          # row 0: clean deliveries at 1 and 3
+        listen[0] = ~transmit[0]
+        transmit[1, 1] = transmit[1, 3] = True  # row 1: node 2 collides
+        listen[1, 2] = True
+        # row 2: all silent listeners
+        listen[2] = True
+        a = resolve_channel(dense, transmit, listen)
+        b = resolve_channel(bit, transmit, listen)
+        assert np.array_equal(a.senders, b.senders)
+        assert b.senders[0, 1] == 2 and b.senders[0, 3] == 2
+        assert not b.clean[1].any() and not b.clean[2].any()
+        assert (b.senders[1:] == 0).all()
+
+
 class TestDisjointnessPrecondition:
     """The kernel itself must reject overlapping transmit/listen masks.
 
@@ -193,6 +287,7 @@ class TestDisjointnessPrecondition:
         lambda net: _operand(net),
         lambda net: DenseOperand(net.adjacency_matrix()),
         lambda net: SparseOperand(*net.csr()),
+        lambda net: BitOperand(*net.csr()),
     ])
     def test_unbatched_overlap_rejected(self, make_op):
         op = make_op(line(4))
@@ -204,6 +299,7 @@ class TestDisjointnessPrecondition:
     @pytest.mark.parametrize("make_op", [
         lambda net: DenseOperand(net.adjacency_matrix()),
         lambda net: SparseOperand(*net.csr()),
+        lambda net: BitOperand(*net.csr()),
     ])
     def test_batched_overlap_rejected_with_instance_index(self, make_op):
         op = make_op(line(4))
@@ -232,6 +328,7 @@ class TestSenderZeroConvention:
     @pytest.mark.parametrize("make_op", [
         lambda net: DenseOperand(net.adjacency_matrix()),
         lambda net: SparseOperand(*net.csr()),
+        lambda net: BitOperand(*net.csr()),
     ])
     def test_clean_delivery_from_node_zero_on_a_star(self, make_op):
         # Hub 0 transmits alone: every leaf is clean with sender id 0,

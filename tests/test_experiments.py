@@ -9,6 +9,7 @@ from repro.experiments import (
     DEFAULT_K_VALUES,
     DEFAULT_TOPOLOGIES,
     bench_engines,
+    bench_kernel,
     bench_scale,
     merge_records,
     sweep_broadcast,
@@ -19,6 +20,7 @@ from repro.experiments.broadcast_bench import main
 from repro.experiments.record import SCHEMA_VERSION
 from repro.experiments.engine_bench import main as engine_main
 from repro.experiments.multimessage_bench import main as multimessage_main
+from repro.experiments.kernel_bench import main as kernel_main
 from repro.experiments.scale_bench import main as scale_main
 
 
@@ -412,6 +414,30 @@ class TestScaleBench:
         assert by_backend["sparse"]["rounds"] > 0
         assert "results_match_dense" not in by_backend["sparse"]
 
+    def test_bitpacked_entries_certify_equivalence_with_dense(self):
+        record = bench_scale(
+            sizes=(24,),
+            topologies=("grid",),
+            seeds=1,
+            backends=("dense", "sparse", "bitpacked"),
+        )
+        by_backend = {e["backend"]: e for e in record["results"]}
+        assert by_backend["bitpacked"]["results_match_dense"] is True
+        assert "speedup_vs_dense" in by_backend["bitpacked"]
+        assert "memory_ratio_vs_dense" in by_backend["bitpacked"]
+
+    def test_memory_ceiling_also_skips_bitpacked_cells(self):
+        record = bench_scale(
+            sizes=(24,),
+            topologies=("line",),
+            seeds=1,
+            backends=("sparse", "bitpacked"),
+            max_dense_bytes=0,  # packed operand also exceeds a zero ceiling
+        )
+        by_backend = {e["backend"]: e for e in record["results"]}
+        assert "MiB ceiling" in by_backend["bitpacked"]["skipped"]
+        assert by_backend["sparse"]["rounds"] > 0
+
     def test_time_ceiling_skips_larger_sizes(self):
         record = bench_scale(
             sizes=(16, 32),
@@ -473,5 +499,93 @@ class TestScaleBench:
 
     def test_cli_reports_bench_errors(self, tmp_path, capsys):
         rc = scale_main(["--n", "0", "--out", str(tmp_path / "x.json")])
+        assert rc == 2
+        assert "bench error" in capsys.readouterr().err
+
+
+class TestKernelBench:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return bench_kernel(sizes=(64, 128), topology="gnp", repeats=2, seed=3)
+
+    def test_record_header(self, record):
+        assert record["bench"] == "kernel"
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["sizes"] == [64, 128]
+        assert record["backends"] == ["dense", "sparse", "bitpacked"]
+        assert record["tx_fraction"] > 0
+
+    def test_one_entry_per_size_backend(self, record):
+        keys = {(e["n"], e["backend"]) for e in record["results"]}
+        assert len(keys) == len(record["results"]) == 2 * 3
+
+    def test_executed_cells_report_both_reductions(self, record):
+        for entry in record["results"]:
+            assert "skipped" not in entry  # nothing hits ceilings this small
+            assert entry["counts_seconds"] > 0
+            assert entry["senders_seconds"] > 0
+            assert entry["counts_per_sec"] > 0
+            assert entry["operand_mib"] >= 0
+            assert entry["clean_listeners"] >= 0
+
+    def test_non_dense_cells_certify_counts_against_dense(self, record):
+        others = [e for e in record["results"] if e["backend"] != "dense"]
+        assert others
+        for entry in others:
+            assert entry["counts_match_dense"] is True
+            assert "counts_speedup_vs_dense" in entry
+
+    def test_bitpacked_operand_is_64x_denser_than_dense(self, record):
+        bit = [e for e in record["results"] if e["backend"] == "bitpacked"]
+        # n=64 and n=128 are word-aligned, so the ratio is exactly 64.
+        assert [e["operand_ratio_vs_dense"] for e in bit] == [64.0, 64.0]
+
+    def test_operand_ceiling_skips_dense_but_not_bitpacked(self):
+        # 8·64² = 32 KiB dense vs 8·64·1 = 512 B packed: a 1 KiB ceiling
+        # separates them — the density win the record exists to show.
+        record = bench_kernel(
+            sizes=(64,), repeats=1, max_operand_bytes=1 << 10
+        )
+        by_backend = {e["backend"]: e for e in record["results"]}
+        assert "MiB ceiling" in by_backend["dense"]["skipped"]
+        assert "counts_seconds" in by_backend["bitpacked"]
+        # No dense baseline ran, so there is nothing to certify against.
+        assert "counts_match_dense" not in by_backend["bitpacked"]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError, match="sizes"):
+            bench_kernel(sizes=(0,))
+        with pytest.raises(AnalysisError, match="repeat"):
+            bench_kernel(sizes=(16,), repeats=0)
+        with pytest.raises(AnalysisError, match="topology"):
+            bench_kernel(sizes=(16,), topology="torus")
+        with pytest.raises(AnalysisError, match="backends"):
+            bench_kernel(sizes=(16,), backends=("csr",))
+        with pytest.raises(AnalysisError, match="cannot build"):
+            bench_kernel(sizes=(2,), topology="ring")
+
+    def test_cli_writes_record_and_smoke_ceiling_passes(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernel.json"
+        rc = kernel_main(
+            ["--n", "64", "--repeats", "2", "--max-seconds", "60",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        record = json.loads(out.read_text())
+        assert record["bench"] == "kernel"
+        stdout = capsys.readouterr().out
+        assert "smoke OK" in stdout
+        assert "counts-speedup" in stdout
+
+    def test_cli_smoke_ceiling_failure(self, tmp_path, capsys):
+        rc = kernel_main(
+            ["--n", "64", "--repeats", "1", "--max-seconds", "0",
+             "--out", str(tmp_path / "x.json")]
+        )
+        assert rc == 1
+        assert "SMOKE FAIL" in capsys.readouterr().err
+
+    def test_cli_reports_bench_errors(self, tmp_path, capsys):
+        rc = kernel_main(["--n", "0", "--out", str(tmp_path / "x.json")])
         assert rc == 2
         assert "bench error" in capsys.readouterr().err

@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import AnalysisError
 from repro.experiments import perf_gate
-from repro.experiments.perf_gate import gate_engine, gate_scale, load_record
+from repro.experiments.perf_gate import (
+    gate_engine,
+    gate_kernel,
+    gate_scale,
+    load_record,
+)
 from repro.experiments.record import SCHEMA_VERSION, bench_record, write_bench
 
 
@@ -49,6 +54,30 @@ def _scale_record(rps=5000.0, peak_mib=2.0, n=16, probe_rounds=32):
                 "backend": "sparse",
                 "rounds_per_sec": rps,
                 "peak_mib": peak_mib,
+            }
+        ],
+    )
+
+
+def _kernel_record(counts_per_sec=5000.0, operand_mib=0.125, n=16):
+    return bench_record(
+        "kernel",
+        topology="gnp",
+        seed=0,
+        repeats=3,
+        tx_fraction=0.05,
+        sizes=[n],
+        backends=["bitpacked"],
+        max_operand_mib=1024,
+        results=[
+            {
+                "topology": "gnp",
+                "n": n,
+                "backend": "bitpacked",
+                "operand_mib": operand_mib,
+                "counts_per_sec": counts_per_sec,
+                "counts_seconds": 1.0 / counts_per_sec,
+                "senders_seconds": 1.0 / counts_per_sec,
             }
         ],
     )
@@ -149,6 +178,33 @@ class TestGateScale:
             gate_scale(_scale_record(n=16), _scale_record(n=1024))
 
 
+class TestGateKernel:
+    def test_identical_records_pass(self):
+        _, violations = gate_kernel(_kernel_record(), _kernel_record())
+        assert violations == 0
+
+    def test_counts_regression_trips(self):
+        lines, violations = gate_kernel(
+            _kernel_record(counts_per_sec=5000.0),
+            _kernel_record(counts_per_sec=100.0),
+        )
+        assert violations == 1
+        assert any("REGRESSION" in line and "counts" in line for line in lines)
+
+    def test_operand_size_drift_trips(self):
+        # operand_mib is arithmetic, not a measurement: any change means
+        # the operand layout itself changed and must be deliberate.
+        lines, violations = gate_kernel(
+            _kernel_record(operand_mib=0.125), _kernel_record(operand_mib=0.25)
+        )
+        assert violations == 1
+        assert any("operand_mib changed" in line for line in lines)
+
+    def test_no_matching_cells_is_an_error(self):
+        with pytest.raises(AnalysisError, match="vacuous"):
+            gate_kernel(_kernel_record(n=16), _kernel_record(n=4096))
+
+
 class TestMain:
     def _write(self, tmp_path, engine=None, scale=None):
         engine_path = write_bench(
@@ -206,6 +262,28 @@ class TestMain:
 
     def test_exits_two_on_bad_tolerance(self, tmp_path):
         assert perf_gate.main(["--speed-tolerance", "1.5"]) == 2
+
+    def test_kernel_record_is_gated_when_given(self, tmp_path, capsys):
+        engine_path, scale_path = self._write(tmp_path)
+        fresh_engine = write_bench(_engine_record(), tmp_path / "fe.json")
+        fresh_scale = write_bench(_scale_record(), tmp_path / "fs.json")
+        kernel_path = write_bench(_kernel_record(), tmp_path / "BENCH_kernel.json")
+        fresh_kernel = write_bench(
+            _kernel_record(counts_per_sec=10.0), tmp_path / "fk.json"
+        )
+        code = perf_gate.main(
+            [
+                "--engine-record", engine_path,
+                "--scale-record", scale_path,
+                "--fresh-engine", str(fresh_engine),
+                "--fresh-scale", str(fresh_scale),
+                "--kernel-record", str(kernel_path),
+                "--fresh-kernel", str(fresh_kernel),
+                "--kernel-n", "16",
+            ]
+        )
+        assert code == 1
+        assert "kernel gnp/n=16/bitpacked" in capsys.readouterr().out
 
     def test_out_dir_writes_fresh_records(self, tmp_path):
         out_dir = tmp_path / "artifacts"
