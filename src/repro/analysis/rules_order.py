@@ -1,0 +1,172 @@
+"""Ordered-iteration rule (SL006): no set iteration in kernel/engine hot paths.
+
+Set iteration order depends on element hashes and insertion history, so
+any set whose iteration order reaches an array op (a ``list(...)`` fed
+to fancy indexing, a ``for`` loop appending per-element results) makes
+the run depend on incidental state.  Inside ``sim/core/`` — the round
+loops and channel kernel — this rule bans materializing a set's order
+outright; ``sorted(...)`` is the sanctioned escape hatch.  Dicts are
+exempt: insertion order is deterministic in modern Python and the batch
+engine relies on it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, ast_dfs, path_has_segments
+
+__all__ = ["UnorderedIterationRule"]
+
+#: builtins/constructors that materialize their argument's iteration order.
+_ORDER_MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+#: set methods returning sets: taint flows through them.
+_SET_PRODUCING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def _is_set_expr(node: ast.AST, tainted: set[str]) -> bool:
+    """Whether the expression evaluates to a set (literal, comp, or tainted)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_PRODUCING_METHODS
+            and _is_set_expr(func.value, tainted)
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, tainted) or _is_set_expr(node.right, tainted)
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    """SL006 — never materialize a set's iteration order in ``sim/core/``."""
+
+    id = "SL006"
+    title = "no unordered iteration in hot paths"
+    doc = (
+        "Iterating a set (for-loop, comprehension, list()/tuple()/enumerate()/\n"
+        "iter()/reversed(), or .pop()) materializes an order that depends on\n"
+        "element hashes and insertion history.  In sim/core/ — the round loops\n"
+        "and channel kernel — that order reaches array ops (fancy indexing,\n"
+        "per-element appends), silently breaking bitwise reproducibility.\n"
+        "Order-free reductions (len, min, max, any, all, membership) are fine\n"
+        "and not flagged.  Dicts are exempt: insertion order is deterministic\n"
+        "and the batch engine's grouping relies on it.\n"
+        "Fix: iterate `sorted(the_set)` instead; suppress a provably\n"
+        "order-free loop with  # simlint: disable=SL006"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path_has_segments(path, ("sim", "core"))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._scan_scope(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        self._scan_scope(node, ctx)
+
+    def _scan_scope(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        tainted: set[str] = set()
+        # Parameters annotated as sets are tainted from the start.
+        for arg in list(fn.args.posonlyargs) + list(fn.args.args) + list(
+            fn.args.kwonlyargs
+        ):
+            if arg.annotation is not None and self._is_set_annotation(arg.annotation):
+                tainted.add(arg.arg)
+        for stmt in fn.body:
+            for node in ast_dfs(stmt, skip_nested_defs=True):
+                self._update_taint(node, tainted)
+                self._check_node(node, tainted, ctx)
+
+    @staticmethod
+    def _is_set_annotation(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}
+        if isinstance(node, ast.Subscript):
+            return UnorderedIterationRule._is_set_annotation(node.value)
+        if isinstance(node, ast.Attribute):
+            return node.attr in {"Set", "FrozenSet", "AbstractSet"}
+        return False
+
+    def _update_taint(self, node: ast.AST, tainted: set[str]) -> None:
+        if isinstance(node, ast.Assign):
+            is_set = _is_set_expr(node.value, tainted)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if is_set:
+                        tainted.add(target.id)
+                    else:
+                        tainted.discard(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if self._is_set_annotation(node.annotation) or (
+                node.value is not None and _is_set_expr(node.value, tainted)
+            ):
+                tainted.add(node.target.id)
+            else:
+                tainted.discard(node.target.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            # `s |= {...}` keeps (or creates) set-ness; other aug-ops don't.
+            if isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+                if _is_set_expr(node.value, tainted) or node.target.id in tainted:
+                    tainted.add(node.target.id)
+
+    def _check_node(self, node: ast.AST, tainted: set[str], ctx: FileContext) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter, tainted):
+                ctx.report(
+                    self.id,
+                    node,
+                    "for-loop over a set materializes hash order; iterate "
+                    "sorted(...) instead",
+                )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, tainted):
+                    ctx.report(
+                        self.id,
+                        node,
+                        "comprehension over a set materializes hash order; "
+                        "iterate sorted(...) instead",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_MATERIALIZERS
+                and node.args
+                and _is_set_expr(node.args[0], tainted)
+            ):
+                ctx.report(
+                    self.id,
+                    node,
+                    f"{func.id}() over a set materializes hash order; use "
+                    "sorted(...) instead",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "pop"
+                and not node.args
+                and _is_set_expr(func.value, tainted)
+            ):
+                ctx.report(
+                    self.id,
+                    node,
+                    "set.pop() removes a hash-order-dependent element; pop from "
+                    "a sorted list instead",
+                )

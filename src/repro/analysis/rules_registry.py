@@ -1,0 +1,127 @@
+"""Registry-completeness rule (SL005): object/array parity + equivalence coverage.
+
+Every protocol exists twice — per-node object form
+(``@register_protocol``) and whole-network array form
+(``@register_array_protocol``) — and the repo's core guarantee is that
+the two are bitwise-identical on shared seeds.  That guarantee is only
+tested for protocols that (a) have both forms and (b) appear in an
+equivalence test module; this rule makes both conditions lintable.
+
+This is the one cross-file rule: each file contributes *facts* (names it
+registers, tokens of equivalence test modules) and the verdicts are
+computed in :meth:`RegistryCompletenessRule.finalize` over the whole run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any
+
+from repro.analysis.core import FileContext, Finding, Rule, attribute_chain
+
+__all__ = ["RegistryCompletenessRule"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9_]+")
+
+
+def _decorator_registration(node: ast.expr, register_name: str) -> str | None:
+    """The registered name if ``node`` is ``@register_name("...")``, else None."""
+    if not isinstance(node, ast.Call) or not node.args:
+        return None
+    chain = attribute_chain(node.func)
+    if chain is None or chain[-1] != register_name:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+class RegistryCompletenessRule(Rule):
+    """SL005 — object-form protocols need array twins and equivalence coverage."""
+
+    id = "SL005"
+    title = "protocol registry completeness"
+    doc = (
+        "A protocol registered with @register_protocol(name) is only covered by\n"
+        "the repo's determinism guarantee when a matching\n"
+        "@register_array_protocol(name) exists and the name shows up in at\n"
+        "least one equivalence test module (tests/test_*equivalence*.py) —\n"
+        "that is where object/array and backend bitwise-identity is enforced.\n"
+        "This project-level rule fires on the registering line when either half\n"
+        "is missing.  The coverage check is skipped when no equivalence module\n"
+        "is part of the analyzed set (e.g. linting a single file).\n"
+        "Fix: add the array twin and extend an equivalence test; suppress a\n"
+        "deliberately object-only protocol with  # simlint: disable=SL005"
+    )
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._object: dict[str, int] = {}
+        self._array: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: FileContext) -> None:
+        for decorator in node.decorator_list:
+            name = _decorator_registration(decorator, "register_protocol")
+            if name is not None:
+                self._object.setdefault(name, node.lineno)
+            name = _decorator_registration(decorator, "register_array_protocol")
+            if name is not None:
+                self._array.append(name)
+
+    def end_file(self, ctx: FileContext) -> None:
+        if self._object:
+            ctx.facts["object_protocols"] = dict(sorted(self._object.items()))
+        if self._array:
+            ctx.facts["array_protocols"] = sorted(set(self._array))
+        if "equivalence" in ctx.basename and ctx.basename.startswith("test"):
+            ctx.facts["equivalence_tokens"] = sorted(
+                set(_TOKEN_RE.findall(ctx.source.lower()))
+            )
+
+    def finalize(self, facts: dict[str, dict[str, Any]]) -> list[Finding]:
+        object_sites: dict[str, tuple[str, int]] = {}
+        array_names: set[str] = set()
+        equivalence_tokens: list[set[str]] = []
+        for path in sorted(facts):
+            file_facts = facts[path]
+            for name, line in file_facts.get("object_protocols", {}).items():
+                object_sites.setdefault(name, (path, int(line)))
+            array_names.update(file_facts.get("array_protocols", []))
+            tokens = file_facts.get("equivalence_tokens")
+            if tokens:
+                equivalence_tokens.append(set(tokens))
+        findings: list[Finding] = []
+        for name, (path, line) in sorted(object_sites.items()):
+            if name not in array_names:
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"protocol {name!r} has no array counterpart "
+                            "(@register_array_protocol); the array path cannot "
+                            "run it and equivalence is untestable"
+                        ),
+                    )
+                )
+            elif equivalence_tokens and not any(
+                name.lower() in token
+                for tokens in equivalence_tokens
+                for token in tokens
+            ):
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"protocol {name!r} never appears in an equivalence "
+                            "test module; its object/array identity is unchecked"
+                        ),
+                    )
+                )
+        return findings

@@ -82,7 +82,14 @@ class BroadcastFailure(ReproError):
     consumers can report the same fields a success result exposes.
     """
 
-    def __init__(self, message: str, undelivered: tuple = (), *, sim=None, budget=None):  # noqa: D107
+    def __init__(
+        self,
+        message: str,
+        undelivered: tuple[int, ...] = (),
+        *,
+        sim: object = None,
+        budget: int | None = None,
+    ) -> None:
         super().__init__(message)
         self.undelivered = tuple(undelivered)
         self.sim = sim

@@ -41,12 +41,15 @@ import sys
 import time
 import tracemalloc
 
+from collections.abc import Sequence
+
 from repro.errors import AnalysisError, BroadcastFailure, TopologyError
+from repro.params import ProtocolParams
 from repro.experiments.broadcast_bench import resolve_params
 from repro.experiments.record import bench_record, rounds_per_sec, write_bench
 from repro.sim import runners
 from repro.sim.runners import run_broadcast_batch
-from repro.sim.topology import TOPOLOGY_NAMES, from_spec
+from repro.sim.topology import TOPOLOGY_NAMES, RadioNetwork, from_spec
 
 __all__ = [
     "DEFAULT_SIZES",
@@ -108,7 +111,12 @@ def _run_signature(result) -> tuple:
     return ("delivered", result.rounds_to_delivery, tuple(result.informed_rounds), totals)
 
 
-def probe_peak_bytes(protocol: str, nets, params, seeds: int) -> int:
+def probe_peak_bytes(
+    protocol: str,
+    nets: Sequence[RadioNetwork],
+    params: ProtocolParams,
+    seeds: int,
+) -> int:
     """Peak bytes allocated by a short run of this cell (operand + rounds).
 
     Public because the perf gate re-measures committed cells with exactly

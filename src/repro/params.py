@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro.errors import ConfigurationError
 
@@ -156,7 +157,7 @@ class ProtocolParams:
             schedule_slack_additive=24,
         )
 
-    def with_overrides(self, **kwargs) -> "ProtocolParams":
+    def with_overrides(self, **kwargs: Any) -> "ProtocolParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 

@@ -39,7 +39,7 @@ __all__ = ["ObjectProtocolAdapter"]
 class ObjectProtocolAdapter(ArrayProtocol):
     """Wrap one per-node :class:`Protocol` object per node as an ArrayProtocol."""
 
-    def __init__(self, protocols: Sequence[Protocol]):
+    def __init__(self, protocols: Sequence[Protocol]) -> None:
         self.protocols = tuple(protocols)
         self._actions: tuple[Action, ...] = ()
 

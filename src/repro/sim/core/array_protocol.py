@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -120,7 +121,7 @@ class BroadcastArrayProtocol(ArrayProtocol):
     uninformed).
     """
 
-    def __init__(self, message: Any = "broadcast"):
+    def __init__(self, message: Any = "broadcast") -> None:
         if message is None:
             raise ConfigurationError("the broadcast message must be non-None")
         self._injected_message = message
@@ -155,7 +156,7 @@ class CoinDeck:
     ``1/chunk`` refill loop.
     """
 
-    def __init__(self, streams: "SeededStreams", *, chunk: int = 64):
+    def __init__(self, streams: "SeededStreams", *, chunk: int = 64) -> None:
         if chunk < 1:
             raise ConfigurationError(f"chunk must be positive, got {chunk}")
         self._gens = streams.nodes
@@ -182,7 +183,9 @@ class CoinDeck:
 _ARRAY_REGISTRY: dict[str, type[ArrayProtocol]] = {}
 
 
-def register_array_protocol(name: str):
+def register_array_protocol(
+    name: str,
+) -> Callable[[type[ArrayProtocol]], type[ArrayProtocol]]:
     """Class decorator registering an :class:`ArrayProtocol` under ``name``.
 
     Names are shared with the object-form registry by convention — the

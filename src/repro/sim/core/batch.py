@@ -167,7 +167,7 @@ class ArrayEngine:
         kernel_operand: KernelOperand | np.ndarray | None = None,
         observers: Sequence[RoundObserver] | None = None,
         faults: FaultSchedule | None = None,
-    ):
+    ) -> None:
         if n_bound is not None and n_bound < network.n:
             raise SimulationError(
                 f"n_bound {n_bound} is below the actual network size {network.n}"
@@ -451,7 +451,8 @@ class ArrayEngine:
         traffic = _traffic_totals(counters)
         faults: FaultTotals | None = None
         if fault_counters is not None:
-            assert self._fault_state is not None
+            if self._fault_state is None:
+                raise SimulationError("fault counters present without a fault state")
             faults = self._fault_state.totals(fault_counters)
         return SimResult(
             rounds_run=rounds_run,
@@ -510,7 +511,7 @@ class BatchEngine:
         *,
         trace: bool = False,
         observers: Sequence[Callable[[int, RoundStats], None]] | None = None,
-    ):
+    ) -> None:
         """``observers`` get ``(item_index, RoundStats)`` for every executed
         round of every item — the streaming counterpart of ``trace=True``,
         at O(1) memory across the whole batch."""
@@ -671,7 +672,7 @@ class BatchEngine:
                 self._phase_seconds["channel"] += time.perf_counter() - t0
                 for row, i in enumerate(active):
                     self.engines[i].complete_round(channel.row(row))
-            for i in list(live):
+            for i in sorted(live):
                 if self.items[i].protocol.done():
                     retire(i, completed=True)
                 elif self.engines[i].round_index >= self.items[i].budget:

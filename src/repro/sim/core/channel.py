@@ -187,7 +187,7 @@ class DenseOperand:
 
     backend = "dense"
 
-    def __init__(self, adjacency: np.ndarray):
+    def __init__(self, adjacency: np.ndarray) -> None:
         self.adj_f = adjacency_operand(adjacency)
         self._ids_f = np.arange(self.adj_f.shape[0], dtype=np.float64)
 
@@ -225,7 +225,7 @@ class SparseOperand:
 
     backend = "sparse"
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
         self.indptr, self.indices, self.n = _validate_csr(indptr, indices)
         # Round-invariant pieces of the kernel, built once: the listener id
         # owning each CSR slot (the bincount keys), the float64 sender ids,
@@ -318,7 +318,7 @@ class BitOperand:
 
     backend = "bitpacked"
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
         indptr, indices, n = _validate_csr(indptr, indices)
         self.n = n
         self.edges = int(indices.size)

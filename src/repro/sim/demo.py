@@ -55,15 +55,16 @@ import argparse
 import json
 import sys
 import time
+from collections.abc import Sequence
 
 from repro.errors import BroadcastFailure, TopologyError
 from repro.params import ProtocolParams
 from repro.sim import runners
-from repro.sim.core import resolve_channel_backend
+from repro.sim.core import RoundStats, SimResult, resolve_channel_backend
 from repro.sim.decay import DecayResult
+from repro.sim.faults import sample_fault_schedule
 from repro.sim.ghk_broadcast import GHKResult
 from repro.sim.multi_message import MultiMessageResult
-from repro.sim.faults import sample_fault_schedule
 from repro.sim.runners import run_broadcast
 from repro.sim.topology import TOPOLOGY_NAMES, from_spec
 
@@ -178,7 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 # Both trace renderings come from RoundStats.as_row() — one row schema,
 # so the prose and JSON traces cannot drift apart.
-def _print_trace(history) -> None:
+def _print_trace(history: Sequence[RoundStats]) -> None:
     for stats in history:
         row = stats.as_row()
         print(
@@ -189,18 +190,18 @@ def _print_trace(history) -> None:
         )
 
 
-def _trace_rows(history) -> list[dict]:
+def _trace_rows(history: Sequence[RoundStats]) -> list[dict]:
     return [stats.as_row() for stats in history]
 
 
-def _traffic_payload(sim) -> dict | None:
+def _traffic_payload(sim: SimResult | None) -> dict | None:
     """Per-node traffic/energy totals of a run, or ``None`` without a sim."""
     if sim is None or sim.traffic is None:
         return None
     return sim.traffic.as_dict()
 
 
-def _fault_totals_payload(sim) -> dict | None:
+def _fault_totals_payload(sim: SimResult | None) -> dict | None:
     """Injected-fault totals of a run, or ``None`` on fault-free runs."""
     if sim is None or sim.faults is None:
         return None
@@ -225,7 +226,7 @@ def _telemetry_payload(wall_seconds: float, rounds: int | None, engine_telemetry
     }
 
 
-def _usage_error(args, message: str) -> int:
+def _usage_error(args: argparse.Namespace, message: str) -> int:
     """Report a pre-run input error: JSON ``status: "error"`` or stderr prose."""
     if args.json:
         print(

@@ -37,6 +37,7 @@ from repro.sim.core.channel import round_stats
 from repro.sim.core.stats import RoundStats, RunTelemetry, SimResult
 from repro.sim.faults import FaultSchedule
 from repro.sim.protocol import Protocol
+from repro.sim.rng import SeededStreams
 from repro.sim.topology import RadioNetwork
 
 __all__ = ["Engine", "RoundStats", "SimResult", "run_until_all_informed"]
@@ -64,7 +65,7 @@ class Engine:
         trace: bool = False,
         observers: Sequence[RoundObserver] | None = None,
         faults: FaultSchedule | None = None,
-    ):
+    ) -> None:
         if len(protocols) != network.n:
             raise SimulationError(
                 f"need exactly one protocol per node: got {len(protocols)} "
@@ -107,7 +108,7 @@ class Engine:
         return self._core.trace
 
     @property
-    def streams(self):
+    def streams(self) -> SeededStreams:
         return self._core.streams
 
     @property
@@ -136,7 +137,8 @@ class Engine:
         if stats is not None:
             return stats
         perceived = core.last_channel
-        assert perceived is not None
+        if perceived is None:
+            raise SimulationError("array core has no completed channel round")
         return round_stats(r, plan.transmit, perceived)
 
     def run(

@@ -35,11 +35,12 @@ the dense/sparse channel backends alike.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.core.channel import (
     BitOperand,
     ChannelRound,
@@ -212,7 +213,7 @@ class FaultState:
         network: RadioNetwork,
         operand: KernelOperand,
         rng: np.random.Generator,
-    ):
+    ) -> None:
         n = network.n
         top = schedule.max_node()
         if top >= n:
@@ -331,7 +332,8 @@ class FaultState:
     # Internals
     # ------------------------------------------------------------------ #
     def _apply_flip(self, flip: EdgeFlip) -> None:
-        assert self._neighbors is not None
+        if self._neighbors is None:
+            raise SimulationError("edge flip before neighbour sets were built")
         u, v = flip.u, flip.v
         if v in self._neighbors[u]:
             self._neighbors[u].discard(v)
@@ -349,7 +351,8 @@ class FaultState:
         Stays on the backend the engine started with, so cross-backend
         bitwise equivalence holds round by round even mid-flip.
         """
-        assert self._neighbors is not None
+        if self._neighbors is None:
+            raise SimulationError("operand rebuild before neighbour sets were built")
         n = self._n
         if self._backend in ("sparse", "bitpacked"):
             indptr = np.zeros(n + 1, dtype=np.int64)
@@ -368,7 +371,7 @@ class FaultState:
                     mat[u, w] = 1
             self._operand = DenseOperand(mat)
 
-    def _current_neighbors(self, v: int):
+    def _current_neighbors(self, v: int) -> Sequence[int] | set[int]:
         if self._neighbors is not None:
             return self._neighbors[v]
         return self.network.neighbors(v)

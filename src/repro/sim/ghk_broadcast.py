@@ -46,7 +46,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.params import ProtocolParams
 from repro.sim.beepwave import WAVE_PULSE, in_layer_slot, is_beep
 from repro.sim.core.array_protocol import (
@@ -83,7 +83,7 @@ __all__ = ["GHKBroadcastProtocol", "GHKArrayProtocol", "GHKResult", "run_ghk_bro
 class GHKBroadcastProtocol(BroadcastProtocol):
     """Per-node state machine of the collision-detection broadcast."""
 
-    def __init__(self, message: Any = "broadcast"):
+    def __init__(self, message: Any = "broadcast") -> None:
         super().__init__(message)
         if message is WAVE_PULSE:
             # The sentinel marks a *content-free* pulse; a broadcast whose
@@ -165,7 +165,7 @@ class GHKArrayProtocol(BroadcastArrayProtocol):
     identical traces on identical seeds.
     """
 
-    def __init__(self, message: Any = "broadcast"):
+    def __init__(self, message: Any = "broadcast") -> None:
         super().__init__(message)
         if message is WAVE_PULSE:
             raise ConfigurationError(
@@ -315,7 +315,11 @@ def run_ghk_broadcast(
 
 def _ghk_array_result(run: BroadcastRun) -> GHKResult:
     protocol = run.protocol
-    assert isinstance(protocol, GHKArrayProtocol)
+    if not isinstance(protocol, GHKArrayProtocol):
+        raise SimulationError(
+            f"GHK result requested for {type(protocol).__name__}, "
+            "not a GHKArrayProtocol run"
+        )
     return GHKResult(
         network=run.network.name,
         n=run.network.n,

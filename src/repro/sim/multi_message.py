@@ -82,7 +82,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.params import ProtocolParams
 from repro.sim.beepwave import WAVE_PULSE, in_layer_slot, is_beep
 from repro.sim.core.array_protocol import (
@@ -143,7 +143,7 @@ class MultiMessageProtocol(BroadcastProtocol):
     :class:`~repro.sim.ghk_broadcast.GHKBroadcastProtocol` exactly.
     """
 
-    def __init__(self, message: Any = "broadcast", k_messages: int = 1):
+    def __init__(self, message: Any = "broadcast", k_messages: int = 1) -> None:
         super().__init__(message)
         self.k_messages = _check_message_and_k(message, k_messages)
 
@@ -286,7 +286,7 @@ class MultiMessageArrayProtocol(BroadcastArrayProtocol):
     produce identical traces on identical seeds.
     """
 
-    def __init__(self, message: Any = "broadcast", k_messages: int = 1):
+    def __init__(self, message: Any = "broadcast", k_messages: int = 1) -> None:
         super().__init__(message)
         self.k_messages = _check_message_and_k(message, k_messages)
 
@@ -534,7 +534,11 @@ def run_multi_message(
 
 def _multi_message_array_result(run: BroadcastRun) -> MultiMessageResult:
     protocol = run.protocol
-    assert isinstance(protocol, MultiMessageArrayProtocol)
+    if not isinstance(protocol, MultiMessageArrayProtocol):
+        raise SimulationError(
+            f"multi-message result requested for {type(protocol).__name__}, "
+            "not a MultiMessageArrayProtocol run"
+        )
     return MultiMessageResult(
         network=run.network.name,
         n=run.network.n,

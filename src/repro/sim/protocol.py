@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigurationError, SimulationError
@@ -150,7 +151,7 @@ class BroadcastProtocol(Protocol):
     the completion predicate shared by every ``run_*`` broadcast driver.
     """
 
-    def __init__(self, message: Any = "broadcast"):
+    def __init__(self, message: Any = "broadcast") -> None:
         if message is None:
             raise ConfigurationError("the broadcast message must be non-None")
         self._injected_message = message
@@ -162,7 +163,7 @@ class BroadcastProtocol(Protocol):
 _REGISTRY: dict[str, type[Protocol]] = {}
 
 
-def register_protocol(name: str):
+def register_protocol(name: str) -> Callable[[type[Protocol]], type[Protocol]]:
     """Class decorator registering a :class:`Protocol` under ``name``."""
 
     def deco(cls: type[Protocol]) -> type[Protocol]:

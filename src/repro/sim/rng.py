@@ -42,7 +42,7 @@ class SeededStreams:
     engine-side randomness never perturbs node-side coin flips.
     """
 
-    def __init__(self, seed: int, n_nodes: int):
+    def __init__(self, seed: int, n_nodes: int) -> None:
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be positive, got {n_nodes}")
         root = np.random.SeedSequence(seed)

@@ -37,7 +37,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import BroadcastFailure, ConfigurationError
+from repro.errors import BroadcastFailure, ConfigurationError, SimulationError
 from repro.params import ProtocolParams
 from repro.sim.core.array_protocol import BroadcastArrayProtocol
 from repro.sim.core.batch import BatchEngine, BatchItem
@@ -361,7 +361,11 @@ def run_broadcast_batch(
     for outcome in outcomes:
         item = outcome.item
         proto = item.protocol
-        assert isinstance(proto, BroadcastArrayProtocol)
+        if not isinstance(proto, BroadcastArrayProtocol):
+            raise SimulationError(
+                f"broadcast batch yielded {type(proto).__name__}, "
+                "not a BroadcastArrayProtocol"
+            )
         if not outcome.completed:
             undelivered = proto.undelivered()
             results.append(

@@ -51,7 +51,7 @@ class RadioNetwork:
         *,
         source: int = 0,
         name: str = "custom",
-    ):
+    ) -> None:
         n = len(neighbors)
         if n < 1:
             raise TopologyError("a RadioNetwork needs at least one node")

@@ -1,0 +1,17 @@
+"""Bad: every flavor of global RNG."""
+import random
+
+import numpy as np
+
+
+def bad_stdlib() -> float:
+    return random.random()
+
+
+def bad_np_module() -> float:
+    np.random.seed(7)
+    return float(np.random.rand())
+
+
+def bad_seedless():
+    return np.random.default_rng()

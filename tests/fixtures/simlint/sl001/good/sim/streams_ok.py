@@ -1,0 +1,12 @@
+"""Good: randomness only via seeded numpy Generators."""
+import numpy as np
+from numpy.random import PCG64, Generator, SeedSequence
+
+
+def make_rng(seed: int) -> Generator:
+    return Generator(PCG64(SeedSequence(seed)))
+
+
+def draw(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())

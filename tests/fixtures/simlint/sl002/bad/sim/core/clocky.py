@@ -1,0 +1,11 @@
+"""Bad: wall-clock reads inside sim/core result code."""
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def when() -> str:
+    return datetime.now().isoformat()

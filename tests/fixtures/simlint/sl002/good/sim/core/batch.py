@@ -1,0 +1,7 @@
+"""Good: the telemetry allowlist permits monotonic timers in batch.py."""
+import time
+
+
+def timed() -> float:
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0

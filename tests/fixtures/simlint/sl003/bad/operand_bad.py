@@ -1,0 +1,15 @@
+"""Bad: missing sender_ids, wrong transmit_counts arity, no n."""
+import numpy as np
+
+
+class BrokenOperand:
+    backend = "broken"
+
+    def __init__(self, adjacency: np.ndarray):
+        self.adj = adjacency
+
+    def prepare_transmit(self, transmit: np.ndarray) -> np.ndarray:
+        return transmit
+
+    def transmit_counts(self, tx: np.ndarray, extra: np.ndarray) -> np.ndarray:
+        return tx

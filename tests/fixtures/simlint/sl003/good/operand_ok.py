@@ -1,0 +1,22 @@
+"""Good: a conforming channel operand."""
+import numpy as np
+
+
+class ToyOperand:
+    backend = "toy"
+
+    def __init__(self, adjacency: np.ndarray):
+        self.adj = adjacency
+
+    @property
+    def n(self) -> int:
+        return self.adj.shape[0]
+
+    def prepare_transmit(self, transmit: np.ndarray) -> np.ndarray:
+        return transmit.astype(np.float64)
+
+    def transmit_counts(self, tx: np.ndarray) -> np.ndarray:
+        return (tx @ self.adj).astype(np.int64)
+
+    def sender_ids(self, tx: np.ndarray, clean: np.ndarray) -> np.ndarray:
+        return np.zeros_like(clean, dtype=np.int64)

@@ -1,0 +1,23 @@
+"""Bad: producer skips setflags; callers write into accessor results."""
+import numpy as np
+
+
+class Cache:
+    def __init__(self, n: int):
+        self.n = n
+        self._mat = None
+
+    def adjacency_matrix(self) -> np.ndarray:
+        if self._mat is None:
+            self._mat = np.zeros((self.n, self.n), dtype=np.int8)
+        return self._mat
+
+
+def writes_direct(cache: Cache) -> None:
+    cache.adjacency_matrix()[0, 1] = 1
+
+
+def writes_alias(cache: Cache) -> None:
+    mat = cache.adjacency_matrix()
+    mat[0, 1] = 1
+    mat.fill(0)

@@ -1,0 +1,12 @@
+"""Bad: object form registered with no array counterpart."""
+
+
+def register_protocol(name):
+    def deco(cls):
+        return cls
+    return deco
+
+
+@register_protocol("orphan")
+class OrphanProtocol:
+    pass

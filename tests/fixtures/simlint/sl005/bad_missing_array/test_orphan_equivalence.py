@@ -1,0 +1,3 @@
+"""Equivalence fixture that does mention OrphanProtocol (parity still fails)."""
+
+COVERED = ["OrphanProtocol"]

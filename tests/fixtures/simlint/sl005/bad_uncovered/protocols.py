@@ -1,0 +1,23 @@
+"""Bad: both forms registered but no equivalence test mentions the name."""
+
+
+def register_protocol(name):
+    def deco(cls):
+        return cls
+    return deco
+
+
+def register_array_protocol(name):
+    def deco(cls):
+        return cls
+    return deco
+
+
+@register_protocol("ghost")
+class GhostProtocol:
+    pass
+
+
+@register_array_protocol("ghost")
+class GhostArrayProtocol:
+    pass

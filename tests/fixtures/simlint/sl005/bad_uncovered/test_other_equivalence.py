@@ -1,0 +1,3 @@
+"""Equivalence fixture covering an unrelated protocol only."""
+
+COVERED = ["SomethingElseEntirely"]

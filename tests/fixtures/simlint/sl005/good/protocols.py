@@ -1,0 +1,23 @@
+"""Good: object + array registration for the same name."""
+
+
+def register_protocol(name):
+    def deco(cls):
+        return cls
+    return deco
+
+
+def register_array_protocol(name):
+    def deco(cls):
+        return cls
+    return deco
+
+
+@register_protocol("toy")
+class ToyProtocol:
+    pass
+
+
+@register_array_protocol("toy")
+class ToyArrayProtocol:
+    pass

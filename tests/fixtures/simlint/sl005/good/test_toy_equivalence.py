@@ -1,0 +1,3 @@
+"""Equivalence fixture: mentions ToyProtocol / ToyArrayProtocol by name."""
+
+COVERED = ["ToyProtocol", "ToyArrayProtocol"]

@@ -1,0 +1,21 @@
+"""Bad: set iteration order reaches downstream consumers."""
+
+
+def retire_all(live: set) -> list:
+    out = []
+    for i in live:
+        out.append(i)
+    return out
+
+
+def snapshot(live: set) -> list:
+    return list(live)
+
+
+def drain(live: set) -> int:
+    return live.pop()
+
+
+def squares() -> list:
+    pending = {3, 1, 2}
+    return [i * i for i in pending]

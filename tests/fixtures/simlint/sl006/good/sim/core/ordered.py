@@ -1,0 +1,12 @@
+"""Good: set order never materialized — sorted() or order-free reductions."""
+
+
+def retire_all(live: set) -> list:
+    out = []
+    for i in sorted(live):
+        out.append(i)
+    return out
+
+
+def summary(live: set) -> tuple:
+    return (len(live), min(live), max(live), 3 in live)

@@ -1,0 +1,11 @@
+"""Two SL001 violations, suppressed for the whole file."""
+# simlint: disable-file=SL001
+import numpy as np
+
+
+def first() -> float:
+    return float(np.random.rand())
+
+
+def second() -> None:
+    np.random.seed(0)

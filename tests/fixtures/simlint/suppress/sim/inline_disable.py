@@ -1,0 +1,6 @@
+"""A real SL001 violation, suppressed inline."""
+import numpy as np
+
+
+def tolerated() -> float:
+    return float(np.random.rand())  # simlint: disable=SL001

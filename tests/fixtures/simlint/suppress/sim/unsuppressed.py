@@ -1,0 +1,6 @@
+"""A violation with an unrelated disable comment: must still fire."""
+import numpy as np
+
+
+def still_bad() -> float:
+    return float(np.random.rand())  # simlint: disable=SL006

@@ -192,7 +192,7 @@ def test_node_context_wiring():
 
 def test_registry_roundtrip():
     @register_protocol("scripted-test")
-    class Registered(Scripted):
+    class Registered(Scripted):  # simlint: disable=SL005
         pass
 
     assert "scripted-test" in available_protocols()

@@ -1,6 +1,7 @@
 """Tests for the sweep harnesses and their bench records."""
 
 import json
+from typing import ClassVar
 
 import pytest
 
@@ -143,7 +144,7 @@ class TestMergeRecords:
         with pytest.raises(AnalysisError, match="at least one"):
             merge_records([])
 
-    HEADER = {
+    HEADER: ClassVar[dict] = {
         "bench": "broadcast",
         "paper": "conf_podc_GhaffariHK13",
         "preset": "fast",

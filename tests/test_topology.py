@@ -74,9 +74,9 @@ class TestRadioNetwork:
         net = line(5)
         mat = net.adjacency_matrix()
         with pytest.raises(ValueError, match="read-only"):
-            mat[0, 1] = 0
+            mat[0, 1] = 0  # simlint: disable=SL004
         with pytest.raises(ValueError, match="read-only"):
-            net.adjacency_matrix()[:] = 1
+            net.adjacency_matrix()[:] = 1  # simlint: disable=SL004
         # The cache itself is intact.
         assert net.adjacency_matrix()[0, 1] == 1
         assert net.adjacency_matrix()[0, 3] == 0
@@ -115,9 +115,9 @@ class TestRadioNetwork:
         net = line(5)
         indptr, indices = net.csr()
         with pytest.raises(ValueError, match="read-only"):
-            indices[0] = 3
+            indices[0] = 3  # simlint: disable=SL004
         with pytest.raises(ValueError, match="read-only"):
-            indptr[0] = 1
+            indptr[0] = 1  # simlint: disable=SL004
         assert net.csr()[0] is indptr  # cached, not rebuilt
 
     def test_csr_single_node(self):
