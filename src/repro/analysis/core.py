@@ -14,8 +14,10 @@ Three engine services every rule gets for free:
   ``# simlint: disable-file=SL001`` (anywhere in the file) suppresses the
   rule for the whole file.  ``all`` is accepted in place of a rule id.
 * **Per-file caching** — results are keyed on a SHA-256 of the file
-  content plus the ruleset version, so re-runs only re-analyze files
-  that changed.  Facts and suppressions are cached alongside findings,
+  content, the ruleset version, and a fingerprint of the rule sources
+  (:func:`rules_fingerprint`), so re-runs only re-analyze files that
+  changed — and editing a rule invalidates everything it may now judge
+  differently.  Facts and suppressions are cached alongside findings,
   which keeps cross-file rules correct on warm runs.
 * **Reporting** — deterministic ordering, human and JSON output, and
   the exit-code contract (0 clean, 1 findings, 2 usage error) live in
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import ast
 import contextlib
+import functools
 import hashlib
 import io
 import json
@@ -51,6 +54,7 @@ __all__ = [
     "attribute_chain",
     "parse_error_finding",
     "path_has_segments",
+    "rules_fingerprint",
 ]
 
 #: Bump whenever a rule's behaviour changes, so stale caches self-invalidate.
@@ -477,9 +481,30 @@ class RuleEngine:
         )
 
 
+@functools.lru_cache(maxsize=1)
+def rules_fingerprint() -> str:
+    """SHA-256 over the ``rules_*.py`` module sources shipped with simlint.
+
+    Salted into every per-file cache key (and stored in the cache
+    payload) so editing any rule implementation invalidates cached
+    results even though the *analyzed* files are unchanged.  Without it,
+    a rule fix silently kept serving stale verdicts from
+    ``.simlint-cache.json`` until the cache file was deleted by hand.
+    """
+    digest = hashlib.sha256()
+    for path in sorted(Path(__file__).resolve().parent.glob("rules_*.py")):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
 def _hash_content(source: str) -> str:
     digest = hashlib.sha256()
     digest.update(CACHE_VERSION.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(rules_fingerprint().encode("utf-8"))
     digest.update(b"\x00")
     digest.update(source.encode("utf-8"))
     return digest.hexdigest()
@@ -492,6 +517,8 @@ def _load_cache(cache_path: str | Path) -> dict[str, dict[str, Any]]:
         return {}
     if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
         return {}
+    if payload.get("rules") != rules_fingerprint():
+        return {}
     files = payload.get("files")
     return files if isinstance(files, dict) else {}
 
@@ -499,6 +526,7 @@ def _load_cache(cache_path: str | Path) -> dict[str, dict[str, Any]]:
 def _store_cache(cache_path: str | Path, results: Sequence[FileResult]) -> None:
     payload = {
         "version": CACHE_VERSION,
+        "rules": rules_fingerprint(),
         "files": {result.path: result.as_cache_entry() for result in results},
     }
     # A read-only checkout must not break linting; caching is advisory.

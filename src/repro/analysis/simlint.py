@@ -2,9 +2,12 @@
 
 Exit codes: **0** clean, **1** findings reported, **2** usage error
 (unknown rule, missing path).  ``--format json`` emits a machine-readable
-report; ``--explain SL00X`` prints a rule's full documentation;
+report; ``--format github`` emits one ``::error`` workflow command per
+finding so CI findings surface as inline annotations on the pull
+request; ``--explain SL00X`` prints a rule's full documentation;
 ``--no-cache`` disables the content-hash result cache
-(``.simlint-cache.json`` by default, safe to delete at any time).
+(``.simlint-cache.json`` by default, safe to delete at any time —
+it self-invalidates when any rule source changes).
 """
 
 from __future__ import annotations
@@ -14,8 +17,12 @@ import json
 import sys
 from collections.abc import Sequence
 
-from repro.analysis.core import Rule, RuleEngine
-from repro.analysis.rules_contract import CachedArrayRule, OperandContractRule
+from repro.analysis.core import Finding, Rule, RuleEngine
+from repro.analysis.rules_contract import (
+    CachedArrayRule,
+    OperandConstructionRule,
+    OperandContractRule,
+)
 from repro.analysis.rules_order import UnorderedIterationRule
 from repro.analysis.rules_registry import RegistryCompletenessRule
 from repro.analysis.rules_rng import GlobalRngRule, WallClockRule
@@ -32,6 +39,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     CachedArrayRule,
     RegistryCompletenessRule,
     UnorderedIterationRule,
+    OperandConstructionRule,
 )
 
 DEFAULT_CACHE = ".simlint-cache.json"
@@ -66,9 +74,10 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "github"),
         default="human",
-        help="report format (default: human)",
+        help="report format (default: human); 'github' prints one ::error "
+        "workflow command per finding for inline PR annotations",
     )
     parser.add_argument(
         "--select",
@@ -98,6 +107,29 @@ def _parser() -> argparse.ArgumentParser:
         help="print one rule's full documentation and exit",
     )
     return parser
+
+
+def _github_escape(value: str, *, property_value: bool = False) -> str:
+    """Escape data for a GitHub Actions workflow command.
+
+    ``%``/CR/LF are meaningful everywhere; property values (file, title)
+    additionally reserve ``:`` and ``,`` as delimiters.
+    """
+    value = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def _github_annotation(finding: Finding) -> str:
+    properties = (
+        f"file={_github_escape(finding.path, property_value=True)},"
+        f"line={finding.line},"
+        # simlint columns are 0-based (ast.col_offset); annotations are 1-based.
+        f"col={finding.col + 1},"
+        f"title={_github_escape('simlint ' + finding.rule, property_value=True)}"
+    )
+    return f"::error {properties}::{_github_escape(finding.message)}"
 
 
 def _list_rules() -> str:
@@ -135,6 +167,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     if args.format == "json":
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    elif args.format == "github":
+        for finding in report.findings:
+            print(_github_annotation(finding))
     else:
         for finding in report.findings:
             print(finding.render())

@@ -1,0 +1,33 @@
+"""``python -m repro.analysis.simsan`` — list the registered check suite.
+
+Prints one line per registered check (id and what it asserts) plus the
+process's current enablement state, so "what would a sanitized run
+check, and is this shell opted in?" is answerable without reading
+source.  The bisector is its own entry point:
+``python -m repro.analysis.simsan.bisect --help``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.simsan.core import CHECKS, SANITIZE_ENV_VAR, sanitize_from_env
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    del argv  # no options; kept for symmetry with the other CLIs
+    width = max(len(check.id) for check in CHECKS)
+    print("simsan runtime sanitizer — registered checks:")
+    for check in CHECKS:
+        print(f"  {check.id:<{width}}  {check.description}")
+    state = "enabled" if sanitize_from_env() else "disabled"
+    print(
+        f"\n{SANITIZE_ENV_VAR} is {state} in this environment; engines built "
+        f"with sanitize=None follow it."
+    )
+    print("bisector: python -m repro.analysis.simsan.bisect --help")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ __all__ = [
     "DecodingError",
     "BroadcastFailure",
     "AnalysisError",
+    "SanitizerError",
 ]
 
 
@@ -98,3 +99,43 @@ class BroadcastFailure(ReproError):
 
 class AnalysisError(ReproError):
     """Raised by the analysis/sweep harness on malformed experiment input."""
+
+
+class SanitizerError(ReproError):
+    """Raised by the runtime sanitizer (:mod:`repro.analysis.simsan`) when a
+    live run violates one of its registered invariants.
+
+    Deliberately *not* a :class:`SimulationError`: the batch engine catches
+    and re-wraps that class to attribute kernel errors to items, which would
+    strip the structured fields below.  A sanitizer finding is a defect
+    report, not an engine-usage error, and must surface verbatim.
+
+    ``check`` is the registered check id (e.g. ``"diff.counts"``,
+    ``"conserve.traffic"``); ``round_index``/``seed``/``backend``/
+    ``topology`` localize the violating round precisely enough for
+    ``python -m repro.analysis.simsan.bisect`` to replay it; ``details``
+    carries check-specific context (mismatching nodes, expected/actual
+    values) as plain JSON-able data.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        check: str,
+        round_index: int,
+        seed: int,
+        backend: str,
+        topology: str,
+        details: dict | None = None,
+    ) -> None:
+        super().__init__(
+            f"[{check}] {message} (round={round_index}, seed={seed}, "
+            f"backend={backend}, topology={topology})"
+        )
+        self.check = check
+        self.round_index = round_index
+        self.seed = seed
+        self.backend = backend
+        self.topology = topology
+        self.details = dict(details) if details else {}

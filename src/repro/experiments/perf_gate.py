@@ -80,6 +80,15 @@ def load_record(path: str | Path) -> dict:
             f"bench record {path} has schema_version={version!r}, gate speaks "
             f"{SCHEMA_VERSION}; regenerate the record with the current bench CLI"
         )
+    # Records produced under REPRO_SANITIZE measure the sanitizer's
+    # per-round checking, not the engine — a committed baseline that slow
+    # would quietly absorb real regressions.  Missing key = legacy record
+    # = sanitizer did not exist, which is fine.
+    if record.get("sanitized"):
+        raise AnalysisError(
+            f"bench record {path} was produced with the runtime sanitizer "
+            "enabled; regenerate it with REPRO_SANITIZE unset"
+        )
     return record
 
 

@@ -19,6 +19,8 @@ import json
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.analysis.simsan.core import sanitize_from_env
+
 __all__ = [
     "PAPER_ID",
     "SCHEMA_VERSION",
@@ -45,13 +47,16 @@ def bench_record(bench: str, **fields) -> dict:
     """Assemble one bench record: the shared header, then bench-specific fields.
 
     Key order is deliberate — header first, the caller's fields after, so
-    committed records stay diffable across PRs.
+    committed records stay diffable across PRs.  The header stamps whether
+    the process ran under ``REPRO_SANITIZE``: sanitized numbers measure
+    the sanitizer, not the engine, so the perf gate refuses them.
     """
     return {
         "bench": bench,
         "schema_version": SCHEMA_VERSION,
         "paper": PAPER_ID,
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "sanitized": sanitize_from_env(),
         **fields,
     }
 

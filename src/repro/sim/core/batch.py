@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -58,6 +58,9 @@ from repro.sim.core.stats import (
 from repro.sim.faults import FaultSchedule, FaultState
 from repro.sim.rng import SeededStreams
 from repro.sim.topology import RadioNetwork
+
+if TYPE_CHECKING:
+    from repro.analysis.simsan.core import Sanitizer, SanitizerConfig
 
 __all__ = [
     "ArrayEngine",
@@ -167,6 +170,7 @@ class ArrayEngine:
         kernel_operand: KernelOperand | np.ndarray | None = None,
         observers: Sequence[RoundObserver] | None = None,
         faults: FaultSchedule | None = None,
+        sanitize: bool | SanitizerConfig | None = None,
     ) -> None:
         if n_bound is not None and n_bound < network.n:
             raise SimulationError(
@@ -213,6 +217,32 @@ class ArrayEngine:
             self._fault_state = FaultState(
                 faults, network, self._operand, self.streams.engine
             )
+        # Opt-in runtime sanitizer (see repro.analysis.simsan).  ``None``
+        # defers to the REPRO_SANITIZE environment variable; a disabled
+        # engine holds no sanitizer object, so its only per-round cost is
+        # the ``is not None`` guards in the round hooks.  The import is
+        # deferred: simsan sits in the analysis layer above the kernel
+        # modules, so a module-level import here would be circular when
+        # the import chain starts from the analysis side — and an engine
+        # built with sanitize=False never loads the sanitizer at all.
+        self._sanitizer: Sanitizer | None = None
+        if sanitize is not False:
+            from repro.analysis.simsan.core import (
+                Sanitizer as _Sanitizer,
+                SanitizerConfig as _SanitizerConfig,
+                sanitize_from_env,
+            )
+
+            enabled = sanitize if sanitize is not None else sanitize_from_env()
+            if enabled is not False:
+                config = (
+                    enabled
+                    if isinstance(enabled, _SanitizerConfig)
+                    else _SanitizerConfig()
+                )
+                self._sanitizer = _Sanitizer(
+                    config, network=network, operand=self._operand, seed=seed
+                )
         protocol.setup(
             ArrayContext(
                 n_nodes=network.n,
@@ -260,6 +290,21 @@ class ArrayEngine:
     def backend(self) -> str:
         """Which channel backend this engine runs on (``"dense"``/``"sparse"``)."""
         return self._operand.backend
+
+    @property
+    def fault_state(self) -> FaultState | None:
+        """The live fault-layer state, or ``None`` on fault-free runs.
+
+        Read-only introspection for tooling (the sanitizer's bisector
+        records its adjacency version in repro bundles); mutating it
+        mid-run is undefined behaviour.
+        """
+        return self._fault_state
+
+    @property
+    def sanitized(self) -> bool:
+        """Whether this engine runs with the runtime sanitizer attached."""
+        return self._sanitizer is not None
 
     @property
     def history(self) -> tuple[RoundStats, ...]:
@@ -311,6 +356,7 @@ class ArrayEngine:
             )
         # Disjointness of transmit/listen (half-duplex) is enforced by the
         # channel kernel itself, for every caller — no engine-side copy.
+        crashed: np.ndarray | None = None
         if self._fault_state is not None:
             crashed = self._fault_state.begin_round(self._round)
             if crashed is not None:
@@ -322,6 +368,8 @@ class ArrayEngine:
                     transmit=plan.transmit & ~crashed,
                     listen=plan.listen & ~crashed,
                 )
+        if self._sanitizer is not None:
+            self._sanitizer.on_begin_round(self._round, plan, crashed)
         self._plan = plan
         self._phase_seconds["act"] += time.perf_counter() - t0
         return plan
@@ -357,6 +405,13 @@ class ArrayEngine:
             raise SimulationError("complete_round() called without begin_round()")
         t0 = time.perf_counter()
         r = self._round
+        if self._sanitizer is not None:
+            # Differential + operand checks run on the *raw* kernel output
+            # (fault perception is a deliberate rewrite, not a divergence),
+            # against the operand this round actually resolved on.
+            self._sanitizer.on_channel(
+                r, plan, channel, self.round_operand(), self._fault_state
+            )
         if self._fault_state is not None:
             # Loss and jamming rewrite what the radios *perceive*; from
             # here on (feedback, counters, stats) only the perceived
@@ -373,6 +428,16 @@ class ArrayEngine:
         # transmit and listen are disjoint (kernel precondition), so this
         # counts exactly the radios-on rounds.
         traffic[_AWAKE] += plan.transmit | plan.listen
+        if self._sanitizer is not None:
+            # Conservation checks see the *perceived* channel — the same
+            # masks the counters above just accumulated.
+            self._sanitizer.on_round_complete(
+                r,
+                plan,
+                channel,
+                traffic,
+                None if self._fault_state is None else self._fault_state.counters,
+            )
         stats: RoundStats | None = None
         if self._observers:
             stats = round_stats(r, plan.transmit, channel)
@@ -454,7 +519,7 @@ class ArrayEngine:
             if self._fault_state is None:
                 raise SimulationError("fault counters present without a fault state")
             faults = self._fault_state.totals(fault_counters)
-        return SimResult(
+        result = SimResult(
             rounds_run=rounds_run,
             stopped_early=stopped_early,
             total_transmissions=int(counters[_TX].sum()),
@@ -464,6 +529,9 @@ class ArrayEngine:
             traffic=traffic,
             faults=faults,
         )
+        if self._sanitizer is not None:
+            self._sanitizer.on_result(self._round, result)
+        return result
 
 
 @dataclass
@@ -511,10 +579,14 @@ class BatchEngine:
         *,
         trace: bool = False,
         observers: Sequence[Callable[[int, RoundStats], None]] | None = None,
+        sanitize: bool | SanitizerConfig | None = None,
     ) -> None:
         """``observers`` get ``(item_index, RoundStats)`` for every executed
         round of every item — the streaming counterpart of ``trace=True``,
-        at O(1) memory across the whole batch."""
+        at O(1) memory across the whole batch.  ``sanitize`` attaches one
+        runtime sanitizer per item engine (``None`` defers to
+        ``REPRO_SANITIZE``), so fused groups are checked per instance on
+        the de-batched rows each instance consumed."""
         self.items = list(items)
         self._phase_seconds = _new_phase_seconds()
         self._wall_seconds = 0.0
@@ -570,6 +642,7 @@ class BatchEngine:
                 kernel_operand=operands[key],
                 observers=item_observers(i),
                 faults=item.faults,
+                sanitize=sanitize,
             )
             for i, (item, key) in enumerate(zip(self.items, keys))
         ]

@@ -51,7 +51,7 @@ mapping belongs to the protocol/adapter layer, not the channel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Union, cast
 
 import numpy as np
 
@@ -67,6 +67,7 @@ __all__ = [
     "SparseOperand",
     "adjacency_operand",
     "as_kernel_operand",
+    "operand_from_csr",
     "pack_mask",
     "popcount64",
     "resolve_channel",
@@ -392,10 +393,51 @@ KernelOperand = Union[DenseOperand, SparseOperand, BitOperand]
 
 
 def as_kernel_operand(operand: KernelOperand | np.ndarray) -> KernelOperand:
-    """Normalize a kernel operand; a raw adjacency matrix means dense."""
+    """Normalize a kernel operand; a raw adjacency matrix means dense.
+
+    Anything already exposing the operand surface (``n``,
+    ``prepare_transmit``, ``transmit_counts``, ``sender_ids``) passes
+    through untouched — which is what lets wrapper operands (the
+    bisector's fault injector, a future GPU backend under sanitizer
+    certification) ride the engines without being one of the three
+    built-in classes.  Only a plain array is treated as an adjacency
+    matrix and wrapped dense.
+    """
     if isinstance(operand, (DenseOperand, SparseOperand, BitOperand)):
         return operand
+    if hasattr(operand, "transmit_counts"):
+        return cast(KernelOperand, operand)
     return DenseOperand(operand)
+
+
+def operand_from_csr(
+    backend: str, indptr: np.ndarray, indices: np.ndarray
+) -> KernelOperand:
+    """Build the named backend's operand from CSR neighbour arrays.
+
+    The one sanctioned construction path for callers that hold an adjacency
+    as CSR rather than as a :class:`~repro.sim.topology.RadioNetwork` — the
+    fault layer's per-flip rebuilds and the sanitizer's reference operand.
+    Engine-layer code selecting a backend by policy goes through
+    :func:`~repro.sim.core.batch.select_kernel_operand` instead (simlint
+    rule SL007 enforces that split).  The dense path scatters the CSR into
+    a 0/1 matrix, so it is Θ(n²) memory like any dense operand.
+    """
+    if backend == "sparse":
+        return SparseOperand(indptr, indices)
+    if backend == "bitpacked":
+        return BitOperand(indptr, indices)
+    if backend == "dense":
+        indptr, indices, n = _validate_csr(indptr, indices)
+        mat = np.zeros((n, n), dtype=np.int8)
+        if indices.size:
+            rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+            mat[rows, indices] = 1
+        return DenseOperand(mat)
+    raise SimulationError(
+        f"unknown channel backend {backend!r}; expected 'dense', 'sparse', "
+        f"or 'bitpacked'"
+    )
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["FaultTotals", "RoundStats", "RunTelemetry", "SimResult", "TrafficTotals"]
+__all__ = [
+    "FaultTotals",
+    "RoundStats",
+    "RunTelemetry",
+    "SimResult",
+    "TrafficTotals",
+    "conservation_violation",
+]
 
 
 @dataclass(frozen=True)
@@ -171,3 +178,55 @@ class SimResult:
     #: fault schedule (so fault-free results compare ``==`` regardless of
     #: whether an empty schedule object was attached).
     faults: FaultTotals | None = None
+
+
+def conservation_violation(result: SimResult) -> str | None:
+    """The first conservation law ``result`` violates, or ``None``.
+
+    The laws every engine-built :class:`SimResult` upholds by construction:
+    the scalar totals are the sums of the per-node traffic rows, no node
+    received or heard more than it had listening slots for (awake minus
+    transmissions, radios being half-duplex), and a fully traced window's
+    :class:`RoundStats` sum to the same totals.  Kept next to the record
+    types so the law definitions cannot drift from them; the runtime
+    sanitizer (:mod:`repro.analysis.simsan`) applies this to every frozen
+    result under check id ``conserve.energy``.
+    """
+    traffic = result.traffic
+    if traffic is None:
+        return None
+    pairs = (
+        ("total_transmissions", result.total_transmissions, traffic.transmissions),
+        ("total_deliveries", result.total_deliveries, traffic.receptions),
+        ("total_collisions", result.total_collisions, traffic.collisions_heard),
+    )
+    for name, scalar, rows in pairs:
+        if scalar != sum(rows):
+            return f"{name}={scalar} != sum of per-node rows {sum(rows)}"
+    for node, (tx, rx, coll, awake) in enumerate(
+        zip(
+            traffic.transmissions,
+            traffic.receptions,
+            traffic.collisions_heard,
+            traffic.awake_slots,
+        )
+    ):
+        if tx > awake:
+            return f"node {node} transmitted {tx} rounds but was awake only {awake}"
+        if rx + coll > awake - tx:
+            return (
+                f"node {node} heard {rx + coll} outcomes in {awake - tx} "
+                f"listening slots"
+            )
+    if result.history and len(result.history) == result.rounds_run:
+        tx_sum = sum(len(stats.transmitters) for stats in result.history)
+        rx_sum = sum(len(stats.deliveries) for stats in result.history)
+        coll_sum = sum(len(stats.collisions) for stats in result.history)
+        for name, scalar, traced in (
+            ("total_transmissions", result.total_transmissions, tx_sum),
+            ("total_deliveries", result.total_deliveries, rx_sum),
+            ("total_collisions", result.total_collisions, coll_sum),
+        ):
+            if scalar != traced:
+                return f"{name}={scalar} != traced RoundStats sum {traced}"
+    return None

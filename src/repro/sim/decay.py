@@ -163,6 +163,7 @@ def run_decay(
     budget: int | None = None,
     trace: bool = False,
     faults: FaultSchedule | None = None,
+    sanitize: bool | None = None,
 ) -> DecayResult:
     """Broadcast ``message`` from the network's source via Decay.
 
@@ -182,6 +183,7 @@ def run_decay(
         budget=budget,
         trace=trace,
         faults=faults,
+        sanitize=sanitize,
     )
     sim = run_until_all_informed(prepared.engine, prepared.budget, label="Decay", seed=seed)
     return DecayResult(

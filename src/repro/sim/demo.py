@@ -47,6 +47,13 @@ The schedule is sampled from the run seed (its own stream — coins are
 unchanged), both ``--json`` shapes carry the knobs under ``"faults"``
 plus the injected totals under ``"fault_totals"``, and all three at
 their defaults leave the run bitwise-identical to a fault-free one.
+
+``--sanitize`` attaches the simsan runtime sanitizer
+(:mod:`repro.analysis.simsan`): every round is checked against the
+kernel-boundary contracts, conservation laws, and a differential dense
+re-execution of the channel; violations abort the run with a structured
+:class:`~repro.errors.SanitizerError`.  Without the flag the run also
+honours ``REPRO_SANITIZE=1`` from the environment.
 """
 
 from __future__ import annotations
@@ -163,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="J",
         help="number of always-on jamming nodes (never the source); every "
         "listener they cover perceives a collision (default: 0)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the simsan runtime sanitizer: per-round invariant "
+        "and differential-backend checks (see repro.analysis.simsan)",
     )
     parser.add_argument(
         "--json",
@@ -326,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         "messages": args.messages,
         "preset": args.preset,
         "collision_detection": collision_detection,
+        "sanitized": args.sanitize,
         "faults": {
             "crash_rate": args.crash_rate,
             "loss_rate": args.loss_rate,
@@ -347,6 +361,9 @@ def main(argv: list[str] | None = None) -> int:
             options=options,
             telemetry=engine_telemetry if args.engine == "array" else None,
             faults=faults,
+            # None (not False) without the flag, so REPRO_SANITIZE still
+            # opts un-flagged demo runs in.
+            sanitize=True if args.sanitize else None,
         )
     except BroadcastFailure as exc:
         wall_seconds = time.perf_counter() - t0

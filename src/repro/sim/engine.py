@@ -65,6 +65,7 @@ class Engine:
         trace: bool = False,
         observers: Sequence[RoundObserver] | None = None,
         faults: FaultSchedule | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         if len(protocols) != network.n:
             raise SimulationError(
@@ -84,6 +85,7 @@ class Engine:
             trace=trace,
             observers=observers,
             faults=faults,
+            sanitize=sanitize,
         )
 
     # Classic attribute surface, delegated to the core.
@@ -115,6 +117,11 @@ class Engine:
     def round_index(self) -> int:
         """Index of the next round to be executed."""
         return self._core.round_index
+
+    @property
+    def sanitized(self) -> bool:
+        """Whether the wrapped core runs with the runtime sanitizer attached."""
+        return self._core.sanitized
 
     def telemetry(self) -> RunTelemetry:
         """Wall-clock observables of the wrapped round loop so far."""

@@ -42,11 +42,9 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.core.channel import (
-    BitOperand,
     ChannelRound,
-    DenseOperand,
     KernelOperand,
-    SparseOperand,
+    operand_from_csr,
 )
 from repro.sim.core.stats import FaultTotals
 from repro.sim.rng import stream
@@ -251,6 +249,28 @@ class FaultState:
         """The kernel operand for the *current* adjacency."""
         return self._operand
 
+    @property
+    def adjacency_version(self) -> int:
+        """Monotone counter of edge flips applied so far.
+
+        Two calls observing the same version are guaranteed to see the
+        same current adjacency — the sanitizer's differential checker
+        keys its reference-operand rebuilds on this, and the bisector
+        records it in repro bundles.
+        """
+        return self._adjacency_version
+
+    def current_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR neighbour arrays of the *current* (possibly flipped) adjacency.
+
+        Freshly built on each call once any flip has been applied (callers
+        should key on :attr:`adjacency_version` to avoid rebuilding);
+        before the first flip it is the network's own cached CSR.
+        """
+        if self._neighbors is None:
+            return self.network.csr()
+        return self._neighbors_csr()
+
     def totals(self, counters: np.ndarray) -> FaultTotals:
         """Freeze one counter window (see :attr:`counters`)."""
         return FaultTotals(
@@ -345,31 +365,27 @@ class FaultState:
         self._adjacency_version += 1
         self._rebuild_operand()
 
+    def _neighbors_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The mutable neighbour-set mirror as sorted CSR arrays."""
+        if self._neighbors is None:
+            raise SimulationError("CSR rebuild before neighbour sets were built")
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum([len(nbrs) for nbrs in self._neighbors], out=indptr[1:])
+        indices = np.fromiter(
+            (w for nbrs in self._neighbors for w in sorted(nbrs)),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        return indptr, indices
+
     def _rebuild_operand(self) -> None:
         """Rebuild the kernel operand for the current adjacency.
 
         Stays on the backend the engine started with, so cross-backend
         bitwise equivalence holds round by round even mid-flip.
         """
-        if self._neighbors is None:
-            raise SimulationError("operand rebuild before neighbour sets were built")
-        n = self._n
-        if self._backend in ("sparse", "bitpacked"):
-            indptr = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum([len(nbrs) for nbrs in self._neighbors], out=indptr[1:])
-            indices = np.fromiter(
-                (w for nbrs in self._neighbors for w in sorted(nbrs)),
-                dtype=np.int64,
-                count=int(indptr[-1]),
-            )
-            cls = SparseOperand if self._backend == "sparse" else BitOperand
-            self._operand = cls(indptr, indices)
-        else:
-            mat = np.zeros((n, n), dtype=np.int8)
-            for u, nbrs in enumerate(self._neighbors):
-                for w in nbrs:
-                    mat[u, w] = 1
-            self._operand = DenseOperand(mat)
+        indptr, indices = self._neighbors_csr()
+        self._operand = operand_from_csr(self._backend, indptr, indices)
 
     def _current_neighbors(self, v: int) -> Sequence[int] | set[int]:
         if self._neighbors is not None:

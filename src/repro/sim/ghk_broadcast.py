@@ -268,6 +268,7 @@ def run_ghk_broadcast(
     budget: int | None = None,
     trace: bool = False,
     faults: FaultSchedule | None = None,
+    sanitize: bool | None = None,
 ) -> GHKResult:
     """Broadcast ``message`` from the source with the GHK protocol.
 
@@ -298,6 +299,7 @@ def run_ghk_broadcast(
         budget=budget,
         trace=trace,
         faults=faults,
+        sanitize=sanitize,
     )
     sim = run_until_all_informed(prepared.engine, prepared.budget, label="GHK", seed=seed)
     return GHKResult(

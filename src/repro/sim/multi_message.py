@@ -482,6 +482,7 @@ def run_multi_message(
     budget: int | None = None,
     trace: bool = False,
     faults: FaultSchedule | None = None,
+    sanitize: bool | None = None,
 ) -> MultiMessageResult:
     """Broadcast ``k_messages`` distinct messages from the source, pipelined.
 
@@ -510,6 +511,7 @@ def run_multi_message(
         trace=trace,
         options={"k_messages": k_messages},
         faults=faults,
+        sanitize=sanitize,
     )
     sim = run_until_all_informed(
         prepared.engine, prepared.budget, label="k-message GHK", seed=seed

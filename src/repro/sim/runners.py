@@ -220,6 +220,7 @@ def prepare_broadcast_engine(
     trace: bool = False,
     options: Mapping[str, Any] | None = None,
     faults: FaultSchedule | None = None,
+    sanitize: bool | None = None,
 ) -> PreparedBroadcast:
     """Resolve defaults and build the engine for one object-path run.
 
@@ -260,6 +261,7 @@ def prepare_broadcast_engine(
         n_bound=bound,
         trace=trace,
         faults=faults,
+        sanitize=sanitize,
     )
     return PreparedBroadcast(
         engine=engine,
@@ -289,6 +291,7 @@ def run_broadcast_batch(
     observers: Sequence[Callable[[int, RoundStats], None]] | None = None,
     telemetry: dict | None = None,
     faults: FaultSchedule | Sequence[FaultSchedule | None] | None = None,
+    sanitize: bool | None = None,
 ) -> list[Any]:
     """Run one broadcast instance per (network, seed) through the batch engine.
 
@@ -304,7 +307,8 @@ def run_broadcast_batch(
     (:meth:`~repro.sim.core.stats.RunTelemetry.as_dict`) after the run.
     ``faults`` attaches fault schedules (see :mod:`repro.sim.faults`):
     one schedule shared by every instance, or a sequence with one entry
-    (possibly ``None``) per instance.
+    (possibly ``None``) per instance.  ``sanitize`` opts every instance
+    into the runtime sanitizer (``None`` defers to ``REPRO_SANITIZE``).
     """
     spec = broadcast_spec(protocol)
     if seeds is None:
@@ -353,7 +357,7 @@ def run_broadcast_batch(
                 faults=schedule,
             )
         )
-    batch = BatchEngine(items, trace=trace, observers=observers)
+    batch = BatchEngine(items, trace=trace, observers=observers, sanitize=sanitize)
     outcomes = batch.run()
     if telemetry is not None:
         telemetry.update(batch.telemetry().as_dict())
@@ -414,6 +418,7 @@ def run_broadcast(
     observers: Sequence[Callable[[int, RoundStats], None]] | None = None,
     telemetry: dict | None = None,
     faults: FaultSchedule | None = None,
+    sanitize: bool | None = None,
 ) -> Any:
     """Run one broadcast end-to-end on the chosen execution path.
 
@@ -441,6 +446,8 @@ def run_broadcast(
             kwargs["collision_detection"] = collision_detection
         if faults is not None:
             kwargs["faults"] = faults
+        if sanitize is not None:
+            kwargs["sanitize"] = sanitize
         return spec.runner(
             network,
             params,
@@ -469,6 +476,7 @@ def run_broadcast(
         observers=observers,
         telemetry=telemetry,
         faults=faults,
+        sanitize=sanitize,
     )
     if isinstance(result, BroadcastFailure):
         raise result

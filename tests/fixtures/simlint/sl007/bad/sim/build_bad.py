@@ -1,0 +1,14 @@
+"""Direct operand constructions in sim/ code — every import flavor SL007 flags."""
+
+import repro.sim.core.channel as channel
+from repro.sim.core.channel import BitOperand, DenseOperand, SparseOperand
+
+OPERAND = SparseOperand([0], [])
+
+
+def build_dense(network):
+    return DenseOperand(network.adjacency_matrix())
+
+
+def build_bit(indptr, indices):
+    return channel.BitOperand(indptr, indices)

@@ -1,0 +1,17 @@
+"""Sim code that routes operand construction through the factories."""
+
+from repro.sim.core.batch import select_kernel_operand
+from repro.sim.core.channel import DenseOperand, operand_from_csr
+
+
+def build(network, params):
+    return select_kernel_operand(network, params)
+
+
+def rebuild(indptr, indices):
+    return operand_from_csr("sparse", indptr, indices)
+
+
+def is_dense(operand):
+    # Referencing the class without calling it (isinstance dispatch) is fine.
+    return isinstance(operand, DenseOperand)

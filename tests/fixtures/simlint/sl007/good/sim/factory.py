@@ -1,0 +1,13 @@
+"""The factory functions themselves are exempt — they own the policy."""
+
+from repro.sim.core.channel import BitOperand, DenseOperand, SparseOperand
+
+
+def select_kernel_operand(network, params):
+    if params.channel_backend == "sparse":
+        return SparseOperand(*network.csr())
+    return DenseOperand(network.adjacency_matrix())
+
+
+def operand_from_csr(backend, indptr, indices):
+    return BitOperand(indptr, indices)

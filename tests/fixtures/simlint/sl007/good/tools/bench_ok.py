@@ -1,0 +1,7 @@
+"""Tooling outside sim/ constructs operands freely (benches, simsan)."""
+
+from repro.sim.core.channel import BitOperand
+
+
+def bench_operand(indptr, indices):
+    return BitOperand(indptr, indices)

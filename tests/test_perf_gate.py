@@ -112,6 +112,20 @@ class TestLoadRecord:
         path = write_bench(_engine_record(), tmp_path / "ok.json")
         assert load_record(path)["bench"] == "engine"
 
+    def test_sanitized_record_rejected(self, tmp_path):
+        # Sanitizer-on numbers measure the sanitizer, not the engine.
+        record = _engine_record()
+        record["sanitized"] = True
+        path = write_bench(record, tmp_path / "sanitized.json")
+        with pytest.raises(AnalysisError, match="sanitizer"):
+            load_record(path)
+
+    def test_legacy_record_without_sanitized_key_accepted(self, tmp_path):
+        record = _engine_record()
+        record.pop("sanitized", None)
+        path = write_bench(record, tmp_path / "legacy.json")
+        assert load_record(path)["bench"] == "engine"
+
 
 class TestGateEngine:
     def test_identical_records_pass(self):

@@ -38,6 +38,7 @@ def rules_hit(*paths):
         ("SL003", "sl003"),
         ("SL004", "sl004"),
         ("SL006", "sl006"),
+        ("SL007", "sl007"),
     ],
 )
 def test_rule_fires_on_bad_and_passes_good(rule, corpus):
@@ -68,6 +69,22 @@ def test_sl003_reports_missing_method_arity_and_n():
     assert "sender_ids" in messages          # missing method
     assert "transmit_counts" in messages     # wrong arity
     assert "`n`" in messages                 # missing n
+
+
+def test_sl007_flags_every_construction_flavor():
+    _, report = rules_hit(FIXTURES / "sl007" / "bad")
+    # Module-level SparseOperand, in-function DenseOperand, and the
+    # module-attribute channel.BitOperand spelling all fire.
+    assert len(report.findings) == 3
+    messages = " | ".join(f.message for f in report.findings)
+    for name in ("SparseOperand", "DenseOperand", "BitOperand"):
+        assert name in messages
+    assert "select_kernel_operand" in messages
+
+
+def test_sl007_exempts_factories_kernel_module_and_non_sim_code():
+    hit, _ = rules_hit(FIXTURES / "sl007" / "good")
+    assert hit == []
 
 
 def test_sl005_missing_array_counterpart():
@@ -167,6 +184,35 @@ def test_cache_invalidates_on_content_change(tmp_path):
     assert second.clean
 
 
+def test_cache_invalidates_when_rules_fingerprint_changes(tmp_path, monkeypatch):
+    import repro.analysis.core as analysis_core
+
+    cache = tmp_path / "cache.json"
+    target = FIXTURES / "sl001" / "bad"
+    build_engine().run([target], cache_path=cache)
+    warm = build_engine().run([target], cache_path=cache)
+    assert warm.files_from_cache == warm.files_checked > 0
+    # Simulate a rule edit: a different fingerprint must reject both the
+    # stored payload ("rules" field) and every per-file hash salt.
+    monkeypatch.setattr(
+        analysis_core, "rules_fingerprint", lambda: "different-ruleset"
+    )
+    cold = build_engine().run([target], cache_path=cache)
+    assert cold.files_from_cache == 0
+    assert [f.as_dict() for f in cold.findings] == [
+        f.as_dict() for f in warm.findings
+    ]
+
+
+def test_cache_payload_carries_rules_fingerprint(tmp_path):
+    from repro.analysis.core import rules_fingerprint
+
+    cache = tmp_path / "cache.json"
+    build_engine().run([FIXTURES / "sl001" / "bad"], cache_path=cache)
+    payload = json.loads(cache.read_text())
+    assert payload["rules"] == rules_fingerprint()
+
+
 def test_fixture_dirs_excluded_from_directory_walks():
     files = RuleEngine.expand_paths([REPO / "tests"])
     assert files, "tests/ must contain python files"
@@ -189,6 +235,39 @@ def test_cli_json_output_and_exit_code(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["clean"] is False
     assert {f["rule"] for f in payload["findings"]} == {"SL006"}
+
+
+def test_cli_github_format_emits_error_annotations(capsys):
+    code = main([str(FIXTURES / "sl006" / "bad"), "--no-cache", "--format", "github"])
+    assert code == 1
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines, "findings must produce annotations"
+    for line in lines:
+        assert line.startswith("::error file=")
+        assert "title=simlint SL006" in line
+        assert "::" in line.split("title=", 1)[1]
+        properties = line[len("::error ") :].split("::", 1)[0]
+        fields = dict(part.split("=", 1) for part in properties.split(","))
+        assert int(fields["line"]) >= 1
+        assert int(fields["col"]) >= 1  # ast columns are 0-based; annotations 1-based
+
+
+def test_cli_github_format_clean_run_prints_nothing(capsys):
+    code = main([str(FIXTURES / "sl006" / "good"), "--no-cache", "--format", "github"])
+    assert code == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_github_escaping():
+    from repro.analysis.core import Finding
+    from repro.analysis.simlint import _github_annotation
+
+    finding = Finding(
+        rule="SL001", path="src/a,b:c.py", line=3, col=0, message="50% bad\nnews"
+    )
+    line = _github_annotation(finding)
+    assert "file=src/a%2Cb%3Ac.py" in line
+    assert line.endswith("::50%25 bad%0Anews")
 
 
 def test_cli_select_filters_rules(capsys):
